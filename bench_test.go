@@ -1,0 +1,307 @@
+package hmcsim_test
+
+// One benchmark per table and figure of the paper's evaluation: each
+// regenerates its artifact on the simulated stack and reports the
+// headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as a compact reproduction run. Benchmarks use the Quick
+// fidelity profile; cmd/figures regenerates at full fidelity.
+
+import (
+	"testing"
+
+	"hmcsim/internal/experiments"
+	"hmcsim/internal/gups"
+)
+
+func benchOpts() experiments.Options { return experiments.Quick() }
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.TableI()
+		if len(rep.Grids) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.TableII()
+		if len(rep.Grids) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.TableIII()
+		if len(rep.Grids) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Figure3()
+		if len(rep.Grids) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	var full float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		full = d.BW["24-31"][gups.ReadOnly]
+	}
+	b.ReportMetric(full, "GBps_ro_unmasked")
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	var ro, rw, wo float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ro = d.BW["16 vaults"][gups.ReadOnly]
+		rw = d.BW["16 vaults"][gups.ReadModifyWrite]
+		wo = d.BW["16 vaults"][gups.WriteOnly]
+	}
+	b.ReportMetric(ro, "GBps_ro")
+	b.ReportMetric(rw, "GBps_rw")
+	b.ReportMetric(wo, "GBps_wo")
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	var m128, m32 float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m128 = d.MRPS["16 vaults"][128]
+		m32 = d.MRPS["16 vaults"][32]
+	}
+	b.ReportMetric(m128, "MRPS_128B")
+	b.ReportMetric(m32, "MRPS_32B")
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = d.TempC[gups.ReadOnly]["Cfg4"]["16 vaults"]
+	}
+	b.ReportMetric(peak, "degC_ro_Cfg4_peak")
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	var w float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		w = d.PowerW[gups.ReadModifyWrite]["Cfg2"]["16 vaults"]
+	}
+	b.ReportMetric(w, "W_rw_Cfg2_peak")
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	var warm float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure11(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm = d.Warming5to20[gups.ReadOnly]
+	}
+	b.ReportMetric(warm, "degC_ro_5to20GBps")
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure12(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = d.AvgDeltaPer16GBps
+	}
+	b.ReportMetric(delta, "coolingW_per16GBps")
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	var lin, rnd float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure13(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lin = d.BW["16 vaults"][gups.Linear][128]
+		rnd = d.BW["16 vaults"][gups.Random][128]
+	}
+	b.ReportMetric(lin, "GBps_linear_128B")
+	b.ReportMetric(rnd, "GBps_random_128B")
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure14(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = d.TotalNs
+	}
+	b.ReportMetric(total, "ns_lowload_128B")
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure15(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = d.Avg[128][28]
+	}
+	b.ReportMetric(avg, "us_avg_128Bx28")
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	var lo, hi float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure16(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo = d.LatencyUs["16 vaults"][32]
+		hi = d.LatencyUs["1 bank"][128]
+	}
+	b.ReportMetric(lo, "us_16vaults_32B")
+	b.ReportMetric(hi, "us_1bank_128B")
+}
+
+func BenchmarkFigure17(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure17(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = d.SaturationBW["2 banks"][128] / d.SaturationBW["4 banks"][128]
+	}
+	b.ReportMetric(ratio, "satBW_2b_over_4b")
+}
+
+func BenchmarkFigure18(b *testing.B) {
+	var v2 float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure18(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		v2 = d.SaturationBW("2 vaults", 128)
+	}
+	b.ReportMetric(v2, "GBps_2vaults_sat")
+}
+
+// Ablation/extension benchmarks (DESIGN.md "extension experiments").
+
+func BenchmarkExtReadRatio(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.ExtReadRatio(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = d.BestRatio
+	}
+	b.ReportMetric(best*100, "pct_optimal_read_ratio")
+}
+
+func BenchmarkExtOpenPage(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.ExtOpenPage(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = d.Open[gups.Linear] / d.Closed[gups.Linear]
+	}
+	b.ReportMetric(gain, "openpage_linear_gain")
+}
+
+func BenchmarkExtLinkRate(b *testing.B) {
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.ExtLinkRate(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bw = d.RawGBps[0]
+	}
+	b.ReportMetric(bw, "GBps_at_10Gbps")
+}
+
+func BenchmarkExtHMC20(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.ExtHMC20(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = d.HMC20["ro"] / d.HMC11["ro"]
+	}
+	b.ReportMetric(speedup, "hmc20_ro_speedup")
+}
+
+func BenchmarkExtDDR(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.ExtDDR(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = d.HMCInternalNs / d.DDRLatencyNs
+	}
+	b.ReportMetric(ratio, "hmc_over_ddr_latency")
+}
+
+func BenchmarkExtPIM(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.ExtPIM(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = d.Chase.Speedup
+	}
+	b.ReportMetric(speedup, "pim_chase_speedup")
+}
+
+func BenchmarkExtChain(b *testing.B) {
+	var hops8 float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.ExtChain(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		hops8 = d.PerCubeLatencyNs[len(d.PerCubeLatencyNs)-1]
+	}
+	b.ReportMetric(hops8, "ns_farthest_of_8_cubes")
+}

@@ -1,0 +1,101 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation on the simulated stack, writing aligned-text and CSV
+// outputs to a results directory.
+//
+// Usage:
+//
+//	figures [-out results] [-id figure7] [-quick] [-measure-us 800] [-workers N]
+//
+// Without -id it runs the full registry (Table I-III, Figure 3,
+// Figures 6-18).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hmcsim/internal/experiments"
+	"hmcsim/internal/sim"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	id := flag.String("id", "", "run a single experiment id (e.g. figure7); empty = all")
+	quick := flag.Bool("quick", false, "use quick (low-fidelity) measurement windows")
+	measureUs := flag.Int("measure-us", 0, "override measurement window in simulated microseconds")
+	warmupUs := flag.Int("warmup-us", 0, "override warmup window in simulated microseconds")
+	seed := flag.Uint64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
+	ext := flag.Bool("ext", false, "include the extension experiments (ablations, projections)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	registry := experiments.All
+	if *ext {
+		registry = experiments.AllWithExtensions
+	}
+
+	if *list {
+		for _, e := range registry() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Default()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *measureUs > 0 {
+		opts.Measure = sim.Duration(*measureUs) * sim.Microsecond
+	}
+	if *warmupUs > 0 {
+		opts.Warmup = sim.Duration(*warmupUs) * sim.Microsecond
+	}
+	opts.Seed = *seed
+	opts.Workers = *workers
+
+	todo := registry()
+	if *id != "" {
+		todo = nil
+		for _, e := range experiments.AllWithExtensions() {
+			if e.ID == *id {
+				todo = []experiments.Experiment{e}
+				break
+			}
+		}
+		if todo == nil {
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment id %q\n", *id)
+			os.Exit(1)
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		rep, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		txt := filepath.Join(*out, e.ID+".txt")
+		csv := filepath.Join(*out, e.ID+".csv")
+		if err := os.WriteFile(txt, []byte(rep.Table()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(csv, []byte(rep.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %-55s %8s -> %s, %s\n",
+			e.ID, e.Title, time.Since(start).Round(time.Millisecond), txt, csv)
+	}
+}

@@ -1,0 +1,112 @@
+// Command hmcsim measures one workload on the simulated AC-510 + HMC
+// 1.1 stack and reports bandwidth, request rate, latency, and the
+// thermal/power assessment under all four cooling configurations.
+//
+// Usage:
+//
+//	hmcsim [-type ro|wo|rw] [-size 128] [-pattern "16 vaults"]
+//	       [-mode random|linear] [-ports 9] [-measure-us 800]
+//
+// Pattern names follow the paper's figures: "16 vaults", "8 vaults",
+// "4 vaults", "2 vaults", "1 vault", "8 banks", "4 banks", "2 banks",
+// "1 bank", or "full" for the unrestricted address space.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/experiments"
+	"hmcsim/internal/gups"
+	"hmcsim/internal/sim"
+	"hmcsim/internal/workloads"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hmcsim:", err)
+	os.Exit(1)
+}
+
+func main() {
+	typ := flag.String("type", "ro", "request mix: ro, wo or rw")
+	size := flag.Int("size", 128, "request payload bytes (16..128, multiple of 16)")
+	patName := flag.String("pattern", "full", "access pattern (figure label or 'full')")
+	mode := flag.String("mode", "random", "addressing mode: random or linear")
+	ports := flag.Int("ports", 9, "active GUPS ports (1-9)")
+	measureUs := flag.Int("measure-us", 800, "measurement window, simulated microseconds")
+	warmupUs := flag.Int("warmup-us", 150, "warmup window, simulated microseconds")
+	seed := flag.Uint64("seed", 1, "random seed")
+	insights := flag.Bool("insights", false, "print the paper's design insights and exit")
+	flag.Parse()
+
+	if *insights {
+		for _, in := range core.Insights() {
+			fmt.Printf("(%d) %s  [see %s]\n", in.N, in.Text, in.Experiment)
+		}
+		return
+	}
+
+	var w core.Workload
+	switch *typ {
+	case "ro":
+		w.Type = gups.ReadOnly
+	case "wo":
+		w.Type = gups.WriteOnly
+	case "rw":
+		w.Type = gups.ReadModifyWrite
+	default:
+		fail(fmt.Errorf("unknown type %q", *typ))
+	}
+	switch *mode {
+	case "random":
+		w.Mode = gups.Random
+	case "linear":
+		w.Mode = gups.Linear
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if *patName != "full" {
+		p, err := workloads.ByName(*patName)
+		if err != nil {
+			fail(err)
+		}
+		w.Pattern = p
+	}
+	w.Size = *size
+	w.Ports = *ports
+
+	opts := experiments.Default()
+	opts.Measure = sim.Duration(*measureUs) * sim.Microsecond
+	opts.Warmup = sim.Duration(*warmupUs) * sim.Microsecond
+	opts.Seed = *seed
+
+	m, err := core.New(opts).Measure(w)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("workload:   %s %dB %s, %d ports, pattern %q\n",
+		*typ, *size, *mode, *ports, *patName)
+	fmt.Printf("bandwidth:  %.2f GB/s raw (%.2f GB/s data)\n", m.Perf.RawGBps, m.Perf.DataGBps)
+	fmt.Printf("requests:   %.1f MRPS (%.1f read / %.1f write)\n",
+		m.Perf.MRPS, m.Perf.ReadMRPS, m.Perf.WriteMRPS)
+	lat := m.ReadLatency()
+	if lat.N() > 0 {
+		fmt.Printf("read lat:   avg %.0f ns, min %.0f, max %.0f (n=%d)\n",
+			lat.Mean(), lat.Min(), lat.Max(), lat.N())
+	}
+	fmt.Println("thermal/power assessment (steady state, 200 s):")
+	fmt.Printf("  %-5s %-12s %-12s %-12s %-10s %s\n",
+		"cfg", "surface degC", "junction", "machine W", "cooling W", "status")
+	for _, tp := range m.Thermal {
+		status := "ok"
+		if tp.ThermallyFailed {
+			status = "THERMAL FAILURE (data loss; reset required)"
+		}
+		fmt.Printf("  %-5s %-12.1f %-12.1f %-12.1f %-10.2f %s\n",
+			tp.Config.Name, tp.SurfaceC, tp.JunctionC, tp.MachineW, tp.CoolingW, status)
+	}
+	fmt.Printf("safe cooling configs: %v\n", m.SafeConfigs())
+}

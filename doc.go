@@ -1,0 +1,33 @@
+// Package hmcsim reproduces "Demystifying the Characteristics of
+// 3D-Stacked Memories: A Case Study for Hybrid Memory Cube"
+// (Hadidi et al., IISWC 2017) as a pure-Go simulation stack.
+//
+// The paper characterizes a real 4 GB HMC 1.1 on an AC-510 FPGA
+// accelerator: bandwidth across access patterns, latency
+// deconstruction of the packet-switched path, and — for the first
+// time on real 3D-stacked hardware — the coupling between bandwidth,
+// temperature and power, including thermal failures of write-heavy
+// workloads. This module replaces the hardware with calibrated
+// models and regenerates every table and figure of the evaluation.
+//
+// Layout:
+//
+//   - internal/core: public facade — Characterizer, Measure, the
+//     experiment registry and the paper's design insights
+//   - internal/hmc: the device model (geometry, packet protocol,
+//     address mapping, links, quadrants, vaults, banks, refresh,
+//     thermal failure)
+//   - internal/fpga: the host-side HMC controller pipeline (Fig. 14)
+//   - internal/gups: the GUPS traffic generator (full-scale,
+//     small-scale, stream)
+//   - internal/thermal, internal/power, internal/cooling: the RC
+//     thermal network, power model and Table III cooling rig
+//   - internal/experiments: one runner per table/figure
+//   - cmd/figures, cmd/hmcsim, cmd/gups: command-line tools
+//   - examples/: runnable walkthroughs (quickstart, streaming,
+//     pimthermal, addrmap)
+//
+// The benchmarks in bench_test.go regenerate each table and figure
+// under `go test -bench`. See DESIGN.md for the substitution
+// statement and EXPERIMENTS.md for paper-vs-measured results.
+package hmcsim

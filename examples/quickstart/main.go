@@ -1,0 +1,53 @@
+// Quickstart: build a characterizer, measure one workload on the
+// simulated HMC 1.1, and print the numbers the paper's rig would
+// produce — bandwidth, request rate, latency, and the thermal
+// assessment under the four cooling configurations.
+package main
+
+import (
+	"fmt"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/experiments"
+	"hmcsim/internal/gups"
+)
+
+func main() {
+	// Default() fidelity matches the figure regeneration runs; use
+	// experiments.Quick() while iterating.
+	ch := core.New(experiments.Default())
+
+	// Measure 128 B read-only random traffic over the full device —
+	// the paper's headline operating point (~21-22 GB/s raw).
+	m, err := ch.Measure(core.Workload{Type: gups.ReadOnly, Size: 128})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("HMC 1.1 (4 GB, two half-width 15 Gbps links) under full-scale GUPS:")
+	fmt.Printf("  raw bandwidth   %.2f GB/s (incl. header+tail)\n", m.Perf.RawGBps)
+	fmt.Printf("  data bandwidth  %.2f GB/s\n", m.Perf.DataGBps)
+	fmt.Printf("  request rate    %.1f million/s\n", m.Perf.MRPS)
+	lat := m.ReadLatency()
+	fmt.Printf("  read latency    avg %.0f ns (min %.0f, max %.0f)\n",
+		lat.Mean(), lat.Min(), lat.Max())
+
+	fmt.Println("\nthermal assessment per cooling configuration:")
+	for _, tp := range m.Thermal {
+		fmt.Printf("  %s: surface %.1f degC, machine %.1f W\n",
+			tp.Config.Name, tp.SurfaceC, tp.MachineW)
+	}
+	fmt.Printf("safe configs for this workload: %v\n", m.SafeConfigs())
+
+	// A low-load burst shows the latency floor (~711 ns for 128 B).
+	stream, err := ch.MeasureStream(4, 128, false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nlow-load latency floor: %.0f ns\n", stream.LatencyNs.Min())
+
+	fmt.Println("\nthe paper's design insights:")
+	for _, in := range core.Insights() {
+		fmt.Printf("  (%d) %s\n", in.N, in.Text)
+	}
+}

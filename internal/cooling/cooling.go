@@ -1,0 +1,88 @@
+// Package cooling models the paper's cooling environments (Table III):
+// two backplane fans tuned by a DC power supply plus a commodity fan
+// at three distances, giving four configurations with measured idle
+// temperatures and computed cooling powers. It also provides the
+// interpolation between thermal resistance and cooling power that
+// Figure 12 is built from.
+package cooling
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config is one row of Table III.
+type Config struct {
+	// Name is Cfg1..Cfg4.
+	Name string
+	// FanVoltage / FanCurrent are the backplane-fan supply settings.
+	FanVoltage float64 // V
+	FanCurrent float64 // A
+	// ExternalFanDistanceCm is the 15 W commodity fan's distance.
+	ExternalFanDistanceCm float64
+	// IdleHMCSurfaceC is the measured average HMC idle temperature.
+	IdleHMCSurfaceC float64
+	// CoolingPowerW is the effective cooling power the paper computes
+	// for the configuration (19.32/15.9/13.9/10.78 W for Cfg1..4).
+	CoolingPowerW float64
+	// SharedResistanceKPerW is the calibrated heatsink->ambient
+	// thermal resistance of the configuration (shared by FPGA and
+	// HMC), derived from the idle temperature (see thermal package).
+	SharedResistanceKPerW float64
+}
+
+// Configs returns Table III, ordered Cfg1 (strongest cooling) to
+// Cfg4 (weakest).
+func Configs() []Config {
+	return []Config{
+		{Name: "Cfg1", FanVoltage: 12.0, FanCurrent: 0.36, ExternalFanDistanceCm: 45,
+			IdleHMCSurfaceC: 43.1, CoolingPowerW: 19.32, SharedResistanceKPerW: 0.655},
+		{Name: "Cfg2", FanVoltage: 10.0, FanCurrent: 0.29, ExternalFanDistanceCm: 90,
+			IdleHMCSurfaceC: 51.7, CoolingPowerW: 15.90, SharedResistanceKPerW: 1.085},
+		{Name: "Cfg3", FanVoltage: 6.5, FanCurrent: 0.14, ExternalFanDistanceCm: 90,
+			IdleHMCSurfaceC: 62.3, CoolingPowerW: 13.90, SharedResistanceKPerW: 1.615},
+		{Name: "Cfg4", FanVoltage: 6.0, FanCurrent: 0.13, ExternalFanDistanceCm: 135,
+			IdleHMCSurfaceC: 71.6, CoolingPowerW: 10.78, SharedResistanceKPerW: 2.080},
+	}
+}
+
+// ByName returns the named configuration.
+func ByName(name string) (Config, error) {
+	for _, c := range Configs() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("cooling: unknown configuration %q", name)
+}
+
+// BackplaneFanW is the electrical power of the two backplane fans at
+// the configuration's supply point (4.5 W at full 12 V per the paper).
+func (c Config) BackplaneFanW() float64 { return c.FanVoltage * c.FanCurrent }
+
+// PowerForResistance interpolates the cooling power required to
+// realize a given shared thermal resistance, using the four Table III
+// anchor points (linear between anchors, linear extrapolation past
+// the ends). Lower resistance (better cooling) costs more power.
+func PowerForResistance(r float64) float64 {
+	cfgs := Configs()
+	sort.Slice(cfgs, func(i, j int) bool {
+		return cfgs[i].SharedResistanceKPerW < cfgs[j].SharedResistanceKPerW
+	})
+	interp := func(a, b Config) float64 {
+		t := (r - a.SharedResistanceKPerW) / (b.SharedResistanceKPerW - a.SharedResistanceKPerW)
+		return a.CoolingPowerW + t*(b.CoolingPowerW-a.CoolingPowerW)
+	}
+	switch {
+	case r <= cfgs[0].SharedResistanceKPerW:
+		return interp(cfgs[0], cfgs[1])
+	case r >= cfgs[len(cfgs)-1].SharedResistanceKPerW:
+		return interp(cfgs[len(cfgs)-2], cfgs[len(cfgs)-1])
+	}
+	for i := 0; i+1 < len(cfgs); i++ {
+		if r <= cfgs[i+1].SharedResistanceKPerW {
+			return interp(cfgs[i], cfgs[i+1])
+		}
+	}
+	return cfgs[len(cfgs)-1].CoolingPowerW
+}

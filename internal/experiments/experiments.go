@@ -1,0 +1,221 @@
+// Package experiments contains one runnable reproduction per table
+// and figure of the paper's evaluation (Section IV). Each experiment
+// builds its workloads from the gups/workloads packages, runs them on
+// the simulated AC-510 stack, post-processes with the thermal/power
+// models where applicable, and renders the same rows/series the paper
+// reports. EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"text/tabwriter"
+
+	"hmcsim/internal/sim"
+)
+
+// Options tune experiment fidelity: longer measurement windows tighten
+// bandwidth estimates at linear cost in wall time.
+type Options struct {
+	// Warmup is discarded simulated time before measurement.
+	Warmup sim.Duration
+	// Measure is the measured simulated window per run.
+	Measure sim.Duration
+	// Seed perturbs all random address streams.
+	Seed uint64
+	// Workers bounds concurrent independent simulations (0 = NumCPU).
+	Workers int
+}
+
+// Default returns publication-fidelity options.
+func Default() Options {
+	return Options{Warmup: 150 * sim.Microsecond, Measure: 800 * sim.Microsecond, Seed: 1}
+}
+
+// Quick returns fast options for tests and smoke runs.
+func Quick() Options {
+	return Options{Warmup: 30 * sim.Microsecond, Measure: 100 * sim.Microsecond, Seed: 1}
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// parallelMap evaluates f(0..n-1) across the worker pool, preserving
+// index order in the returned slice. f must be safe to run
+// concurrently with other indices (each cell owns its own engine).
+func parallelMap[T any](o Options, n int, f func(i int) T) []T {
+	out := make([]T, n)
+	w := o.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = f(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Grid is a rendered table: the universal output shape of every
+// experiment (text for humans, CSV for plotting).
+type Grid struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a formatted row.
+func (g *Grid) AddRow(cells ...string) { g.Rows = append(g.Rows, cells) }
+
+// Table renders aligned text.
+func (g *Grid) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", g.Title)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(g.Cols, "\t"))
+	for _, r := range g.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// CSV renders comma-separated values with a header row. Cells
+// containing commas or quotes are quoted.
+func (g *Grid) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	row(g.Cols)
+	for _, r := range g.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+// Report is an experiment's full output: one or more grids.
+type Report struct {
+	ID    string // e.g. "table1", "figure6"
+	Title string
+	Grids []Grid
+	Notes []string
+}
+
+// Table renders the whole report as aligned text.
+func (r Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", strings.ToUpper(r.ID), r.Title)
+	for _, g := range r.Grids {
+		b.WriteString(g.Table())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders every grid, separated by blank lines.
+func (r Report) CSV() string {
+	var b strings.Builder
+	for i, g := range r.Grids {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "# %s\n", g.Title)
+		b.WriteString(g.CSV())
+	}
+	return b.String()
+}
+
+// Experiment couples an ID to its runner for the cmd/figures driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (Report, error)
+}
+
+// All lists every reproduced table and figure in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Properties of HMC versions", func(Options) (Report, error) { return TableI(), nil }},
+		{"table2", "HMC read/write request/response sizes", func(Options) (Report, error) { return TableII(), nil }},
+		{"table3", "Experiment cooling configurations", func(Options) (Report, error) { return TableIII(), nil }},
+		{"figure3", "Address mapping of 4 GB HMC 1.1", func(Options) (Report, error) { return Figure3(), nil }},
+		{"figure6", "Bandwidth vs address-mask position", runReport(Figure6)},
+		{"figure7", "Bandwidth for ro/rw/wo across access patterns", runReport(Figure7)},
+		{"figure8", "Read bandwidth and MRPS vs request size", runReport(Figure8)},
+		{"figure9", "Temperature and bandwidth across patterns/configs", runReport(Figure9)},
+		{"figure10", "Average power across patterns/configs", runReport(Figure10)},
+		{"figure11", "Temperature and power vs bandwidth (Cfg2 fits)", runReport(Figure11)},
+		{"figure12", "Cooling power vs bandwidth (iso-temperature)", runReport(Figure12)},
+		{"figure13", "Linear vs random bandwidth across request sizes", runReport(Figure13)},
+		{"figure14", "TX/RX path latency deconstruction", runReport(Figure14)},
+		{"figure15", "Low-load latency vs number of read requests", runReport(Figure15)},
+		{"figure16", "High-load latency across patterns and sizes", runReport(Figure16)},
+		{"figure17", "Latency vs request bandwidth (4- and 2-bank)", runReport(Figure17)},
+		{"figure18", "Latency vs bandwidth, all patterns and sizes", runReport(Figure18)},
+	}
+}
+
+// runReport adapts a typed experiment runner to the registry shape.
+func runReport[T interface{ Report() Report }](f func(Options) (T, error)) func(Options) (Report, error) {
+	return func(o Options) (Report, error) {
+		d, err := f(o)
+		if err != nil {
+			return Report{}, err
+		}
+		return d.Report(), nil
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hmcsim/internal/cooling"
+	"hmcsim/internal/hmc"
+	"hmcsim/internal/thermal"
+)
+
+// TableI reproduces the structural-properties table for the three HMC
+// generations.
+func TableI() Report {
+	g := Grid{
+		Title: "Properties of HMC versions (Table I)",
+		Cols:  []string{"Property", "HMC 1.0 (Gen1)", "HMC 1.1 (Gen2)", "HMC 2.0"},
+	}
+	gens := []hmc.Geometry{
+		hmc.Geometries(hmc.HMC10), hmc.Geometries(hmc.HMC11), hmc.Geometries(hmc.HMC20),
+	}
+	row := func(name string, f func(hmc.Geometry) string) {
+		cells := []string{name}
+		for _, geo := range gens {
+			cells = append(cells, f(geo))
+		}
+		g.AddRow(cells...)
+	}
+	row("Size", func(x hmc.Geometry) string {
+		return fmt.Sprintf("%.1f GB", float64(x.SizeBytes)/(1<<30))
+	})
+	row("# DRAM layers", func(x hmc.Geometry) string { return fmt.Sprint(x.DRAMLayers) })
+	row("DRAM layer size", func(x hmc.Geometry) string {
+		return fmt.Sprintf("%d Gb", x.LayerBits/(1<<30))
+	})
+	row("# Quadrants", func(x hmc.Geometry) string { return fmt.Sprint(x.Quadrants) })
+	row("# Vaults", func(x hmc.Geometry) string { return fmt.Sprint(x.Vaults) })
+	row("Vaults/quadrant", func(x hmc.Geometry) string { return fmt.Sprint(x.VaultsPerQuadrant()) })
+	row("# Banks", func(x hmc.Geometry) string { return fmt.Sprint(x.Banks()) })
+	row("# Banks/vault", func(x hmc.Geometry) string { return fmt.Sprint(x.BanksPerVault) })
+	row("Bank size", func(x hmc.Geometry) string {
+		return fmt.Sprintf("%d MB", x.BankBytes()/(1<<20))
+	})
+	row("Partition size", func(x hmc.Geometry) string {
+		return fmt.Sprintf("%d MB", x.PartitionBytes()/(1<<20))
+	})
+	return Report{
+		ID:    "table1",
+		Title: "Properties of HMC Versions",
+		Grids: []Grid{g},
+		Notes: []string{"HMC 1.1/2.0 columns show the larger published capacity; the paper's board carries the 4 GB HMC 1.1."},
+	}
+}
+
+// TableII reproduces the request/response size table.
+func TableII() Report {
+	g := Grid{
+		Title: "HMC read/write request/response sizes in flits (Table II)",
+		Cols:  []string{"", "Read request", "Read response", "Write request", "Write response"},
+	}
+	g.AddRow("Data size", "empty", "1-8 flits", "1-8 flits", "empty")
+	g.AddRow("Overhead", "1 flit", "1 flit", "1 flit", "1 flit")
+	g.AddRow("Total size", "1 flit", "2-9 flits", "2-9 flits", "1 flit")
+
+	eff := Grid{
+		Title: "Per-size wire accounting (Section IV-D overhead arithmetic)",
+		Cols:  []string{"Payload (B)", "Packet flits", "Read txn bytes", "Write txn bytes", "Effective fraction"},
+	}
+	for _, size := range hmc.PayloadSizes() {
+		eff.AddRow(
+			fmt.Sprint(size),
+			fmt.Sprint(hmc.Flits(size)),
+			fmt.Sprint(hmc.TransactionBytes(hmc.CmdRead, size)),
+			fmt.Sprint(hmc.TransactionBytes(hmc.CmdWrite, size)),
+			f2(hmc.EffectiveFraction(size)),
+		)
+	}
+	return Report{ID: "table2", Title: "HMC Read/Write Request/Response Sizes", Grids: []Grid{g, eff}}
+}
+
+// TableIII reproduces the cooling-configuration table, with the
+// thermal model's idle prediction next to the measurement it was
+// calibrated against.
+func TableIII() Report {
+	g := Grid{
+		Title: "Experiment cooling configurations (Table III)",
+		Cols: []string{"Config", "Fan voltage (V)", "Fan current (A)", "15 W fan distance (cm)",
+			"Measured idle (degC)", "Model idle (degC)", "Cooling power (W)"},
+	}
+	tm := thermal.DefaultModel()
+	for _, c := range cooling.Configs() {
+		g.AddRow(
+			c.Name,
+			f1(c.FanVoltage),
+			f2(c.FanCurrent),
+			f0(c.ExternalFanDistanceCm),
+			f1(c.IdleHMCSurfaceC),
+			f1(tm.IdleSurfaceC(c)),
+			f2(c.CoolingPowerW),
+		)
+	}
+	return Report{ID: "table3", Title: "Experiment Cooling Configurations", Grids: []Grid{g}}
+}
+
+// Figure3 renders the address-mapping field layouts for the three
+// maximum block sizes of the paper's Figure 3, plus decode examples.
+func Figure3() Report {
+	layout := Grid{
+		Title: "Field layout per max block size (Figure 3)",
+		Cols:  []string{"Max block", "Ignored", "Block offset", "Vault-in-quadrant", "Quadrant", "Bank", "DRAM row"},
+	}
+	examples := Grid{
+		Title: "Decode examples (max block 128 B)",
+		Cols:  []string{"Address", "Vault", "Quadrant", "Bank", "Row", "Block offset"},
+	}
+	geo := hmc.Geometries(hmc.HMC11)
+	for _, mb := range []hmc.MaxBlockSize{hmc.Block128, hmc.Block64, hmc.Block32} {
+		o := 0
+		for s := int(mb) / 16; s > 1; s >>= 1 {
+			o++
+		}
+		vq := 4 + o
+		layout.AddRow(
+			fmt.Sprintf("%d B", int(mb)),
+			"bits 0-3",
+			fmt.Sprintf("bits 4-%d", vq-1),
+			fmt.Sprintf("bits %d-%d", vq, vq+1),
+			fmt.Sprintf("bits %d-%d", vq+2, vq+3),
+			fmt.Sprintf("bits %d-%d", vq+4, vq+7),
+			fmt.Sprintf("bits %d-31", vq+8),
+		)
+	}
+	m := hmc.MustAddressMap(geo, hmc.Block128)
+	for _, a := range []uint64{0x0, 0x80, 0x200, 0x800, 0x8000, 0x12345680} {
+		loc := m.Decode(a)
+		examples.AddRow(
+			fmt.Sprintf("%#x", a),
+			fmt.Sprint(loc.Vault),
+			fmt.Sprint(loc.Quadrant),
+			fmt.Sprint(loc.Bank),
+			fmt.Sprint(loc.Row),
+			fmt.Sprint(loc.BlockOffset),
+		)
+	}
+	pages := Grid{
+		Title: "4 KB OS page coverage vs max block size (Section II-C)",
+		Cols:  []string{"Max block (B)", "Vaults touched", "Banks per vault"},
+	}
+	for _, mb := range []hmc.MaxBlockSize{hmc.Block128, hmc.Block64, hmc.Block32, hmc.Block16} {
+		mm := hmc.MustAddressMap(geo, mb)
+		v, b := mm.PageCoverage()
+		pages.AddRow(fmt.Sprint(int(mb)), fmt.Sprint(v), fmt.Sprint(b))
+	}
+	return Report{
+		ID:    "figure3",
+		Title: "Address Mapping of 4 GB HMC 1.1",
+		Grids: []Grid{layout, examples, pages},
+	}
+}

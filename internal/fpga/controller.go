@@ -1,0 +1,173 @@
+package fpga
+
+import (
+	"fmt"
+
+	"hmcsim/internal/hmc"
+	"hmcsim/internal/sim"
+)
+
+// Result is the controller-level completion record of one
+// transaction, extending the device timing with the host-side path.
+type Result struct {
+	hmc.AccessResult
+	// PortDeliver is when the response finished draining into the
+	// originating port; Submit→PortDeliver is the latency the GUPS
+	// monitoring unit measures.
+	PortDeliver sim.Time
+}
+
+// Latency is the port-observed round-trip time.
+func (r Result) Latency() sim.Duration { return r.PortDeliver - r.AccessResult.Submit }
+
+type node struct {
+	txPipe sim.Server // flit pipeline shared by the node's ports
+	rxProc sim.Server // response processing
+}
+
+// Controller models the Micron HMC controller IP plus Pico firmware
+// plumbing between GUPS ports and the device links. It implements
+// the request flow-control stop signal as a per-bank outstanding
+// admission limit (hmc.Params.BankQueueDepth).
+type Controller struct {
+	eng *sim.Engine
+	dev *hmc.Device
+	p   Params
+
+	nodes  []node
+	drains []sim.Server // per-port response drain
+
+	outstanding []int      // per global bank
+	waiters     [][]func() // ports blocked on a bank slot
+
+	submitted uint64
+	completed uint64
+}
+
+// NewController wires a controller to a device.
+func NewController(eng *sim.Engine, dev *hmc.Device, p Params) (*Controller, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil || dev == nil {
+		return nil, fmt.Errorf("fpga: nil engine or device")
+	}
+	banks := dev.Geometry().Banks()
+	c := &Controller{
+		eng:         eng,
+		dev:         dev,
+		p:           p,
+		nodes:       make([]node, dev.Links()),
+		drains:      make([]sim.Server, p.Ports),
+		outstanding: make([]int, banks),
+		waiters:     make([][]func(), banks),
+	}
+	return c, nil
+}
+
+// MustController is NewController that panics on error.
+func MustController(eng *sim.Engine, dev *hmc.Device, p Params) *Controller {
+	c, err := NewController(eng, dev, p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Params returns the controller configuration.
+func (c *Controller) Params() Params { return c.p }
+
+// Device returns the attached device.
+func (c *Controller) Device() *hmc.Device { return c.dev }
+
+// PortLink maps a GUPS port to the link (hmc_node) it belongs to:
+// ports alternate between the two nodes, five on one and four on the
+// other.
+func (c *Controller) PortLink(port int) int { return port % len(c.nodes) }
+
+// bankOf decodes the admission bookkeeping index for an address.
+func (c *Controller) bankOf(addr uint64) int {
+	loc := c.dev.AddressMap().Decode(addr)
+	return loc.GlobalBank(c.dev.Geometry())
+}
+
+// CanIssue reports whether the flow-control unit would admit a
+// request to addr right now, i.e. the target bank's outstanding count
+// is below the stop threshold.
+func (c *Controller) CanIssue(addr uint64) bool {
+	return c.outstanding[c.bankOf(addr)] < c.dev.Params().BankQueueDepth
+}
+
+// WaitBank registers fn to run once a slot frees in addr's bank
+// queue. The caller re-checks CanIssue (multiple waiters may race for
+// one slot).
+func (c *Controller) WaitBank(addr uint64, fn func()) {
+	b := c.bankOf(addr)
+	c.waiters[b] = append(c.waiters[b], fn)
+}
+
+// BankOutstanding reports the current outstanding count of the bank
+// holding addr (test/diagnostic hook).
+func (c *Controller) BankOutstanding(addr uint64) int {
+	return c.outstanding[c.bankOf(addr)]
+}
+
+// Submitted and Completed report transaction counts.
+func (c *Controller) Submitted() uint64 { return c.submitted }
+func (c *Controller) Completed() uint64 { return c.completed }
+
+// Submit accepts a request from a GUPS port at the current simulated
+// time and drives it through the TX pipeline, device, and RX path;
+// done runs when the response has drained into the port.
+//
+// Admission is the caller's job: ports consult CanIssue/WaitBank
+// before submitting (the stop signal halts generation, it does not
+// reject in-flight packets).
+func (c *Controller) Submit(req hmc.Request, done func(Result)) {
+	now := c.eng.Now()
+	link := c.PortLink(req.Port)
+	nd := &c.nodes[link]
+	bank := c.bankOf(req.Addr)
+	c.outstanding[bank]++
+	c.submitted++
+
+	reqFlits := req.WireBytesRequest() / hmc.FlitBytes
+
+	// TX: buffering, then the node flit pipeline, then the remaining
+	// fixed stages ahead of link serialization.
+	buffered := now + c.p.Cycles(c.p.FlitsToParallelCycles)
+	_, pipeEnd := nd.txPipe.ReserveAt(now, buffered, c.p.TxPipeTime(reqFlits))
+	atLink := pipeEnd + c.p.Cycles(c.p.ArbiterCycles+c.p.SeqFlowCRCCycles+c.p.SerDesConvertCycles)
+
+	c.eng.At(atLink, func() {
+		c.dev.Submit(c.eng.Now(), link, req, func(res hmc.AccessResult) {
+			// Preserve the port-visible submission time.
+			res.Submit = now
+			c.receive(nd, req, res, done)
+		})
+	})
+}
+
+// receive drives the RX path: response processing on the node, fixed
+// verification latency, then the per-port drain.
+func (c *Controller) receive(nd *node, req hmc.Request, res hmc.AccessResult, done func(Result)) {
+	nowRx := c.eng.Now()
+	_, procEnd := nd.rxProc.Reserve(nowRx, c.dev.Params().ResponseProcessing)
+	verified := procEnd + c.p.RxFixedLatency()
+	respFlits := req.WireBytesResponse() / hmc.FlitBytes
+	_, drainEnd := c.drains[req.Port].ReserveAt(nowRx, verified, c.p.DrainTime(respFlits))
+
+	c.eng.At(drainEnd, func() {
+		c.completed++
+		bank := c.bankOf(req.Addr)
+		c.outstanding[bank]--
+		// Wake every waiter; they re-check admission.
+		if ws := c.waiters[bank]; len(ws) > 0 {
+			c.waiters[bank] = nil
+			for _, w := range ws {
+				w()
+			}
+		}
+		done(Result{AccessResult: res, PortDeliver: drainEnd})
+	})
+}

@@ -1,0 +1,123 @@
+package gups
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hmcsim/internal/hmc"
+)
+
+const testCapMask = 1<<32 - 1 // 4 GB
+
+func TestAddrGenRandomAlignment(t *testing.T) {
+	for _, size := range hmc.PayloadSizes() {
+		g := NewAddrGen(Random, size, 0, 0, testCapMask, 1, 0)
+		align := uint64(16)
+		if size&(size-1) == 0 {
+			align = uint64(size)
+		}
+		for i := 0; i < 1000; i++ {
+			a := g.Next()
+			if a%align != 0 {
+				t.Fatalf("size %d: address %#x not %d-aligned", size, a, align)
+			}
+			if a > testCapMask {
+				t.Fatalf("address %#x beyond capacity", a)
+			}
+		}
+	}
+}
+
+func TestAddrGenLinearStride(t *testing.T) {
+	g := NewAddrGen(Linear, 128, 0, 0, testCapMask, 1, 4096)
+	for i := 0; i < 100; i++ {
+		want := uint64(4096 + i*128)
+		if a := g.Next(); a != want {
+			t.Fatalf("linear addr[%d] = %#x, want %#x", i, a, want)
+		}
+	}
+}
+
+func TestAddrGenMasking(t *testing.T) {
+	zero := hmc.BitRangeMask(7, 14)
+	g := NewAddrGen(Random, 128, zero, 0, testCapMask, 3, 0)
+	for i := 0; i < 1000; i++ {
+		if a := g.Next(); a&zero != 0 {
+			t.Fatalf("masked bits set in %#x", a)
+		}
+	}
+	one := uint64(1 << 20)
+	g = NewAddrGen(Random, 128, 0, one, testCapMask, 3, 0)
+	for i := 0; i < 1000; i++ {
+		if a := g.Next(); a&one == 0 {
+			t.Fatalf("anti-masked bit clear in %#x", a)
+		}
+	}
+}
+
+func TestAddrGenPeekStable(t *testing.T) {
+	g := NewAddrGen(Random, 64, 0, 0, testCapMask, 9, 0)
+	p1 := g.Peek()
+	p2 := g.Peek()
+	if p1 != p2 {
+		t.Fatal("Peek not stable")
+	}
+	if n := g.Next(); n != p1 {
+		t.Fatal("Next disagrees with Peek")
+	}
+	if g.Peek() == p1 && g.Peek() == g.Peek() && g.Next() == p1 {
+		t.Fatal("generator stuck on one address")
+	}
+}
+
+func TestAddrGenDeterminism(t *testing.T) {
+	a := NewAddrGen(Random, 32, 0, 0, testCapMask, 42, 0)
+	b := NewAddrGen(Random, 32, 0, 0, testCapMask, 42, 0)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+// Property: generated addresses always satisfy mask, anti-mask,
+// capacity and 16 B alignment constraints simultaneously.
+func TestAddrGenConstraintsProperty(t *testing.T) {
+	f := func(seed uint64, zeroLo, oneBit uint8, linear bool) bool {
+		zero := hmc.BitRangeMask(int(zeroLo%24), int(zeroLo%24)+7)
+		one := uint64(1) << (7 + oneBit%24) // keep above the alignment bits
+		if one&zero != 0 {
+			one = 0 // conflicting registers: mask wins in hardware order
+		}
+		mode := Random
+		if linear {
+			mode = Linear
+		}
+		g := NewAddrGen(mode, 128, zero, one, testCapMask, seed, 0)
+		for i := 0; i < 50; i++ {
+			a := g.Next()
+			if a&zero != 0 || a > testCapMask || a%16 != 0 {
+				return false
+			}
+			if one != 0 && a&one == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeAndTypeStrings(t *testing.T) {
+	if Random.String() != "random" || Linear.String() != "linear" {
+		t.Error("mode strings wrong")
+	}
+	if ReadOnly.String() != "ro" || WriteOnly.String() != "wo" || ReadModifyWrite.String() != "rw" {
+		t.Error("type strings wrong")
+	}
+	if ReqType(9).String() == "" {
+		t.Error("unknown type empty")
+	}
+}

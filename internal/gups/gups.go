@@ -1,0 +1,215 @@
+package gups
+
+import (
+	"fmt"
+
+	"hmcsim/internal/fpga"
+	"hmcsim/internal/hmc"
+	"hmcsim/internal/sim"
+	"hmcsim/internal/stats"
+)
+
+// Config describes one GUPS experiment: a device + controller
+// configuration, a request mix, and a measurement window.
+type Config struct {
+	// Generation selects the device (default HMC11, the AC-510 part).
+	Generation hmc.Generation
+	// MaxBlock selects the address-mapping mode register (default 128 B).
+	MaxBlock hmc.MaxBlockSize
+	// DevParams are the device timing parameters (default DefaultParams).
+	DevParams *hmc.Params
+	// FPGAParams are the controller parameters (default DefaultParams).
+	FPGAParams *fpga.Params
+
+	// Ports is the number of active ports: 9 for full-scale GUPS,
+	// fewer for small-scale (Section III-B).
+	Ports int
+	// Type is the request mix: ro, wo, rw or Mixed.
+	Type ReqType
+	// ReadFraction is the read share for Type == Mixed (0..1).
+	ReadFraction float64
+	// Size is the request payload in bytes (16..128, default 128).
+	Size int
+	// Mode selects random or linear addressing.
+	Mode Mode
+	// ZeroMask/OneMask are the address mask/anti-mask registers.
+	ZeroMask, OneMask uint64
+	// PagePolicy overrides the row policy (default closed page).
+	PagePolicy hmc.PagePolicy
+	// Refresh enables background DRAM refresh.
+	Refresh bool
+	// HotRefresh halves the refresh interval (high-temperature mode).
+	HotRefresh bool
+
+	// Warmup and Measure bound the experiment: statistics cover
+	// [Warmup, Warmup+Measure]. Defaults: 150 us + 1 ms.
+	Warmup, Measure sim.Duration
+	// Seed perturbs all port RNGs.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Size == 0 {
+		c.Size = 128
+	}
+	if c.Ports == 0 {
+		c.Ports = 9
+	}
+	if c.MaxBlock == 0 {
+		c.MaxBlock = hmc.DefaultMaxBlock
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 150 * sim.Microsecond
+	}
+	if c.Measure == 0 {
+		c.Measure = 1 * sim.Millisecond
+	}
+	return c
+}
+
+// Result aggregates a GUPS run.
+type Result struct {
+	Config  Config
+	Elapsed sim.Duration // measurement window
+
+	Reads  uint64
+	Writes uint64
+
+	// RawGBps is wire bandwidth including header and tail of both
+	// request and response — the quantity every bandwidth figure in
+	// the paper reports.
+	RawGBps float64
+	// DataGBps is payload-only bandwidth.
+	DataGBps float64
+	// MRPS is million requests (reads+writes) per second, the line
+	// series of Figure 8.
+	MRPS float64
+	// ReadMRPS / WriteMRPS split MRPS by direction.
+	ReadMRPS, WriteMRPS float64
+
+	// ReadLatencyNs summarizes port-measured read round trips.
+	ReadLatencyNs stats.Summary
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%v %dB x%d: %.2f GB/s raw (%.2f data), %.1f MRPS, read lat avg %.0f ns [%.0f..%.0f]",
+		r.Config.Type, r.Config.Size, r.Config.Ports, r.RawGBps, r.DataGBps, r.MRPS,
+		r.ReadLatencyNs.Mean(), r.ReadLatencyNs.Min(), r.ReadLatencyNs.Max())
+}
+
+// Rig bundles a constructed simulation stack.
+type Rig struct {
+	Eng   *sim.Engine
+	Dev   *hmc.Device
+	Ctrl  *fpga.Controller
+	Ports []*Port
+}
+
+// BuildRig constructs the engine, device, controller and ports for a
+// config without running anything (used by the runners and tests).
+func BuildRig(cfg Config) (*Rig, error) {
+	cfg = cfg.withDefaults()
+	if !hmc.ValidPayload(cfg.Size) {
+		return nil, fmt.Errorf("gups: invalid request size %d", cfg.Size)
+	}
+	if cfg.Type == Mixed && (cfg.ReadFraction < 0 || cfg.ReadFraction > 1) {
+		return nil, fmt.Errorf("gups: read fraction %v outside [0,1]", cfg.ReadFraction)
+	}
+	eng := sim.NewEngine()
+	amap, err := hmc.NewAddressMap(hmc.Geometries(cfg.Generation), cfg.MaxBlock)
+	if err != nil {
+		return nil, err
+	}
+	dp := hmc.DefaultParams()
+	if cfg.DevParams != nil {
+		dp = *cfg.DevParams
+	}
+	fp := fpga.DefaultParams()
+	if cfg.FPGAParams != nil {
+		fp = *cfg.FPGAParams
+	}
+	if cfg.Ports > fp.Ports {
+		return nil, fmt.Errorf("gups: %d ports exceed the %d available", cfg.Ports, fp.Ports)
+	}
+	dev, err := hmc.NewDevice(eng, dp, amap)
+	if err != nil {
+		return nil, err
+	}
+	dev.SetPagePolicy(cfg.PagePolicy)
+	ctrl, err := fpga.NewController(eng, dev, fp)
+	if err != nil {
+		return nil, err
+	}
+	rig := &Rig{Eng: eng, Dev: dev, Ctrl: ctrl}
+	for i := 0; i < cfg.Ports; i++ {
+		pc := PortConfig{
+			Type:         cfg.Type,
+			Size:         cfg.Size,
+			Mode:         cfg.Mode,
+			ReadFraction: cfg.ReadFraction,
+			ZeroMask:     cfg.ZeroMask,
+			OneMask:      cfg.OneMask,
+			Seed:         cfg.Seed*1000003 + uint64(i)*7919,
+			// Linear ports start staggered across banks (bit 11) and
+			// rows (bit 21) so nine sequential streams exercise
+			// bank-level parallelism instead of marching over one
+			// bank in lockstep.
+			LinearStart: uint64(i)*(1<<11) + uint64(i)*(1<<21),
+		}
+		rig.Ports = append(rig.Ports, NewPort(i, eng, ctrl, pc))
+	}
+	return rig, nil
+}
+
+// Run executes a full- or small-scale GUPS experiment and reports the
+// measured bandwidth, request rate and latency statistics.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	rig, err := BuildRig(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	horizon := cfg.Warmup + cfg.Measure
+	if cfg.Refresh {
+		rig.Dev.StartRefresh(horizon, cfg.HotRefresh)
+	}
+	for _, p := range rig.Ports {
+		p.Start()
+	}
+	rig.Eng.RunUntil(cfg.Warmup)
+	for _, p := range rig.Ports {
+		p.ResetMonitor()
+		p.SetMeasuring(true)
+	}
+	rig.Eng.RunUntil(horizon)
+
+	var mon Monitor
+	for _, p := range rig.Ports {
+		m := p.Monitor()
+		mon.merge(m)
+	}
+	secs := cfg.Measure.Seconds()
+	res := Result{
+		Config:        cfg,
+		Elapsed:       cfg.Measure,
+		Reads:         mon.Reads,
+		Writes:        mon.Writes,
+		RawGBps:       float64(mon.RawBytes) / secs / 1e9,
+		DataGBps:      float64(mon.DataBytes) / secs / 1e9,
+		MRPS:          float64(mon.Reads+mon.Writes) / secs / 1e6,
+		ReadMRPS:      float64(mon.Reads) / secs / 1e6,
+		WriteMRPS:     float64(mon.Writes) / secs / 1e6,
+		ReadLatencyNs: mon.ReadLatencyNs,
+	}
+	return res, nil
+}
+
+// MustRun is Run that panics on configuration errors (benchmarks).
+func MustRun(cfg Config) Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

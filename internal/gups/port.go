@@ -1,0 +1,225 @@
+package gups
+
+import (
+	"hmcsim/internal/fpga"
+	"hmcsim/internal/hmc"
+	"hmcsim/internal/sim"
+	"hmcsim/internal/stats"
+)
+
+// Monitor is the per-port monitoring unit: it records read latencies
+// and completed traffic. Measurement is gated so the runner can skip
+// warmup.
+type Monitor struct {
+	measuring bool
+
+	ReadLatencyNs stats.Summary
+	Reads         uint64
+	Writes        uint64
+	DataBytes     uint64
+	RawBytes      uint64
+}
+
+// merge folds another monitor's measurements into m.
+func (m *Monitor) merge(o Monitor) {
+	m.ReadLatencyNs.Merge(o.ReadLatencyNs)
+	m.Reads += o.Reads
+	m.Writes += o.Writes
+	m.DataBytes += o.DataBytes
+	m.RawBytes += o.RawBytes
+}
+
+// PortConfig configures one GUPS port.
+type PortConfig struct {
+	Type ReqType
+	Size int
+	Mode Mode
+	// ReadFraction is the read share for Type == Mixed (0..1).
+	ReadFraction float64
+	ZeroMask     uint64
+	OneMask      uint64
+	Seed         uint64
+	LinearStart  uint64
+}
+
+// Port is the event-driven model of one GUPS port: it issues at most
+// one request per FPGA cycle, bounded by its read tag pool (depth 64),
+// its write FIFO, and the controller's flow-control stop signal.
+type Port struct {
+	id   int
+	cfg  PortConfig
+	eng  *sim.Engine
+	ctrl *fpga.Controller
+	gen  *AddrGen
+
+	tagDepth   int
+	wfifoDepth int
+
+	tagsInUse   int
+	writesOut   int
+	rmwPending  *sim.Queue[uint64] // addresses awaiting their RMW write
+	nextIssue   sim.Time
+	wakePending bool // a retry event or bank-wait callback is armed
+	stopped     bool
+
+	// mixRNG draws the read/write intent for Mixed ports; the intent
+	// is held until issuable so blocking does not skew the ratio.
+	mixRNG    *sim.RNG
+	mixIntent int // 0 = none drawn, 1 = read, 2 = write
+
+	mon Monitor
+}
+
+// NewPort builds a port attached to a controller.
+func NewPort(id int, eng *sim.Engine, ctrl *fpga.Controller, cfg PortConfig) *Port {
+	fp := ctrl.Params()
+	capMask := ctrl.Device().AddressMap().CapacityMask()
+	return &Port{
+		id:         id,
+		cfg:        cfg,
+		eng:        eng,
+		ctrl:       ctrl,
+		gen:        NewAddrGen(cfg.Mode, cfg.Size, cfg.ZeroMask, cfg.OneMask, capMask, cfg.Seed, cfg.LinearStart),
+		tagDepth:   fp.TagPoolDepth,
+		wfifoDepth: fp.WriteFIFODepth,
+		rmwPending: sim.NewQueue[uint64](0),
+		mixRNG:     sim.NewRNG(cfg.Seed ^ 0xa5a5a5a5),
+	}
+}
+
+// Start arms the port's issue loop.
+func (p *Port) Start() { p.eng.Schedule(0, p.tryIssue) }
+
+// Stop halts further request generation.
+func (p *Port) Stop() { p.stopped = true }
+
+// SetMeasuring toggles monitoring (called by the runner after warmup)
+// and returns the monitor state gathered so far.
+func (p *Port) SetMeasuring(on bool) { p.mon.measuring = on }
+
+// Monitor returns a snapshot of the port's measurements.
+func (p *Port) Monitor() Monitor { return p.mon }
+
+// ResetMonitor clears measured data (keeps the measuring gate).
+func (p *Port) ResetMonitor() {
+	measuring := p.mon.measuring
+	p.mon = Monitor{measuring: measuring}
+}
+
+// OutstandingReads reports tags currently in use.
+func (p *Port) OutstandingReads() int { return p.tagsInUse }
+
+// nextOp decides what the arbitration unit would issue next.
+// It returns the address, whether it is a write, and whether the
+// port can issue at all right now.
+func (p *Port) nextOp() (addr uint64, write, ok bool) {
+	// RMW writes have priority: they drain the write FIFO that the
+	// read stream fills.
+	if p.cfg.Type == ReadModifyWrite && p.rmwPending.Len() > 0 && p.writesOut < p.wfifoDepth {
+		a, _ := p.rmwPending.Peek()
+		return a, true, true
+	}
+	switch p.cfg.Type {
+	case WriteOnly:
+		if p.writesOut < p.wfifoDepth {
+			return p.gen.Peek(), true, true
+		}
+	case ReadOnly, ReadModifyWrite:
+		if p.tagsInUse < p.tagDepth {
+			return p.gen.Peek(), false, true
+		}
+	case Mixed:
+		if p.mixIntent == 0 {
+			if p.mixRNG.Float64() < p.cfg.ReadFraction {
+				p.mixIntent = 1
+			} else {
+				p.mixIntent = 2
+			}
+		}
+		if p.mixIntent == 1 && p.tagsInUse < p.tagDepth {
+			return p.gen.Peek(), false, true
+		}
+		if p.mixIntent == 2 && p.writesOut < p.wfifoDepth {
+			return p.gen.Peek(), true, true
+		}
+	}
+	return 0, false, false
+}
+
+// tryIssue is the issue loop body; it is idempotent and safe to call
+// from any wakeup source (pacing timer, tag release, write ack, bank
+// slot).
+func (p *Port) tryIssue() {
+	p.wakePending = false
+	if p.stopped {
+		return
+	}
+	now := p.eng.Now()
+	if now < p.nextIssue {
+		p.armRetry(p.nextIssue)
+		return
+	}
+	addr, write, ok := p.nextOp()
+	if !ok {
+		return // blocked on tags/FIFO; a completion will wake us
+	}
+	if !p.ctrl.CanIssue(addr) {
+		// Flow-control stop signal: pause generation until the bank
+		// frees a slot.
+		if !p.wakePending {
+			p.wakePending = true
+			p.ctrl.WaitBank(addr, p.tryIssue)
+		}
+		return
+	}
+	// Commit the operation.
+	p.mixIntent = 0
+	if write {
+		if p.cfg.Type == ReadModifyWrite {
+			p.rmwPending.Pop()
+		} else {
+			p.gen.Next()
+		}
+		p.writesOut++
+		p.ctrl.Submit(hmc.Request{Addr: addr, Size: p.cfg.Size, Write: true, Port: p.id}, p.onWriteDone)
+	} else {
+		p.gen.Next()
+		p.tagsInUse++
+		p.ctrl.Submit(hmc.Request{Addr: addr, Size: p.cfg.Size, Port: p.id}, p.onReadDone)
+	}
+	p.nextIssue = now + p.ctrl.Params().Cycle()
+	p.armRetry(p.nextIssue)
+}
+
+// armRetry schedules the next issue attempt, collapsing duplicates.
+func (p *Port) armRetry(at sim.Time) {
+	if p.wakePending {
+		return
+	}
+	p.wakePending = true
+	p.eng.At(at, p.tryIssue)
+}
+
+func (p *Port) onReadDone(r fpga.Result) {
+	p.tagsInUse--
+	if p.mon.measuring && !r.Err {
+		p.mon.Reads++
+		p.mon.ReadLatencyNs.Add(r.Latency().Nanoseconds())
+		p.mon.DataBytes += uint64(p.cfg.Size)
+		p.mon.RawBytes += uint64(hmc.TransactionBytes(hmc.CmdRead, p.cfg.Size))
+	}
+	if p.cfg.Type == ReadModifyWrite && !r.Err {
+		p.rmwPending.Push(r.AccessResult.Req.Addr)
+	}
+	p.tryIssue()
+}
+
+func (p *Port) onWriteDone(r fpga.Result) {
+	p.writesOut--
+	if p.mon.measuring && !r.Err {
+		p.mon.Writes++
+		p.mon.DataBytes += uint64(p.cfg.Size)
+		p.mon.RawBytes += uint64(hmc.TransactionBytes(hmc.CmdWrite, p.cfg.Size))
+	}
+	p.tryIssue()
+}

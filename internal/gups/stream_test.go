@@ -1,0 +1,107 @@
+package gups
+
+import (
+	"testing"
+)
+
+// TestStreamLowLoadFloor pins Figure 15's floor: a tiny stream of
+// 128 B reads has minimum latency ~711 ns, and 16 B ~655 ns.
+func TestStreamLowLoadFloor(t *testing.T) {
+	cases := []struct {
+		size   int
+		wantNs float64
+	}{
+		{128, 711},
+		{16, 655},
+	}
+	for _, c := range cases {
+		res, err := RunStream(StreamConfig{N: 2, Size: c.size, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.LatencyNs.Min()
+		if got < c.wantNs*0.92 || got > c.wantNs*1.08 {
+			t.Errorf("size %d: min latency %.0f ns, want ~%.0f", c.size, got, c.wantNs)
+		}
+	}
+}
+
+// TestStreamLatencyGrowsWithCount: average latency rises with the
+// number of requests while the minimum stays flat (Figure 15).
+func TestStreamLatencyGrowsWithCount(t *testing.T) {
+	small, err := RunStream(StreamConfig{N: 2, Size: 128, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RunStream(StreamConfig{N: 28, Size: 128, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.LatencyNs.Mean() <= small.LatencyNs.Mean() {
+		t.Fatalf("avg latency did not grow: %d reqs %.0f ns vs 2 reqs %.0f ns",
+			28, large.LatencyNs.Mean(), small.LatencyNs.Mean())
+	}
+	if large.LatencyNs.Max() <= large.LatencyNs.Min() {
+		t.Fatal("max latency did not spread above min")
+	}
+	// Min latency stays essentially constant.
+	if d := abs(large.LatencyNs.Min()-small.LatencyNs.Min()) / small.LatencyNs.Min(); d > 0.05 {
+		t.Fatalf("min latency moved %.0f%% with stream size", d*100)
+	}
+}
+
+// TestStreamSizeSensitivity: a 28-deep stream of 128 B packets is
+// roughly 1.5x slower on average than one of 16 B packets (Figure 15
+// discussion).
+func TestStreamSizeSensitivity(t *testing.T) {
+	big, err := RunStream(StreamConfig{N: 28, Size: 128, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := RunStream(StreamConfig{N: 28, Size: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := big.LatencyNs.Mean() / small.LatencyNs.Mean()
+	if ratio < 1.2 || ratio > 1.9 {
+		t.Fatalf("avg(128B)/avg(16B) at N=28 = %.2f, want ~1.5", ratio)
+	}
+}
+
+// TestStreamDataIntegrity runs the write+readback verification the
+// paper performs with stream GUPS ("we also confirm the data
+// integrity of our writes and reads").
+func TestStreamDataIntegrity(t *testing.T) {
+	for _, size := range []int{16, 64, 128} {
+		res, err := RunStream(StreamConfig{N: 24, Size: size, Seed: 4, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified || res.VerifyErrors != 0 {
+			t.Fatalf("size %d: integrity check failed (%d errors)", size, res.VerifyErrors)
+		}
+	}
+}
+
+func TestStreamConfigValidation(t *testing.T) {
+	if _, err := RunStream(StreamConfig{N: 0, Size: 128}); err == nil {
+		t.Error("zero N accepted")
+	}
+	if _, err := RunStream(StreamConfig{N: 4, Size: 100}); err == nil {
+		t.Error("invalid size accepted")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a, err := RunStream(StreamConfig{N: 10, Size: 64, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStream(StreamConfig{N: 10, Size: 64, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LatencyNs.Mean() != b.LatencyNs.Mean() {
+		t.Fatal("same-seed streams diverged")
+	}
+}

@@ -1,0 +1,129 @@
+package hmc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableI pins every structural value of Table I in the paper.
+func TestTableI(t *testing.T) {
+	cases := []struct {
+		gen           Generation
+		sizeGB        float64
+		layers        int
+		quadrants     int
+		vaults        int
+		vaultsPerQuad int
+		banks         int
+		banksPerVault int
+		bankMB        int
+		partitionMB   int
+	}{
+		{HMC10, 0.5, 4, 4, 16, 4, 128, 8, 4, 8},
+		{HMC11, 4, 8, 4, 16, 4, 256, 16, 16, 32},
+		{HMC20, 8, 8, 4, 32, 8, 512, 16, 16, 32},
+	}
+	for _, c := range cases {
+		g := Geometries(c.gen)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%v: invalid geometry: %v", c.gen, err)
+		}
+		if got := float64(g.SizeBytes) / gib; got != c.sizeGB {
+			t.Errorf("%v size = %v GB, want %v", c.gen, got, c.sizeGB)
+		}
+		if g.DRAMLayers != c.layers {
+			t.Errorf("%v layers = %d, want %d", c.gen, g.DRAMLayers, c.layers)
+		}
+		if g.Quadrants != c.quadrants {
+			t.Errorf("%v quadrants = %d, want %d", c.gen, g.Quadrants, c.quadrants)
+		}
+		if g.Vaults != c.vaults {
+			t.Errorf("%v vaults = %d, want %d", c.gen, g.Vaults, c.vaults)
+		}
+		if g.VaultsPerQuadrant() != c.vaultsPerQuad {
+			t.Errorf("%v vaults/quadrant = %d, want %d", c.gen, g.VaultsPerQuadrant(), c.vaultsPerQuad)
+		}
+		if g.Banks() != c.banks {
+			t.Errorf("%v banks = %d, want %d", c.gen, g.Banks(), c.banks)
+		}
+		if g.BanksPerVault != c.banksPerVault {
+			t.Errorf("%v banks/vault = %d, want %d", c.gen, g.BanksPerVault, c.banksPerVault)
+		}
+		if got := g.BankBytes() / mib; got != uint64(c.bankMB) {
+			t.Errorf("%v bank size = %d MB, want %d", c.gen, got, c.bankMB)
+		}
+		if got := g.PartitionBytes() / mib; got != uint64(c.partitionMB) {
+			t.Errorf("%v partition size = %d MB, want %d", c.gen, got, c.partitionMB)
+		}
+	}
+}
+
+// TestEquation1 reproduces the paper's bank-count derivation for the
+// 4 GB HMC 1.1: 8 layers x 16 partitions x 2 banks = 256.
+func TestEquation1(t *testing.T) {
+	g := Geometries(HMC11)
+	layers, partitionsPerLayer, banksPerPartition := 8, 16, 2
+	if want := layers * partitionsPerLayer * banksPerPartition; g.Banks() != want {
+		t.Fatalf("banks = %d, want %d", g.Banks(), want)
+	}
+}
+
+// TestEquation2 reproduces the peak-bandwidth computation: two
+// half-width 15 Gbps links give 60 GB/s bidirectional.
+func TestEquation2(t *testing.T) {
+	lc := AC510Links()
+	if got := lc.PeakGBps(); got != 60 {
+		t.Fatalf("peak = %v GB/s, want 60", got)
+	}
+	if got := lc.PerDirectionGBps(); got != 15 {
+		t.Fatalf("per-direction = %v GB/s, want 15", got)
+	}
+	// Four full-width links at 10 Gbps (HMC 2.0 style): 4*16*10*2/8 = 160.
+	lc = LinkConfig{Count: 4, Width: FullWidth, LaneGbps: 10}
+	if got := lc.PeakGBps(); got != 160 {
+		t.Fatalf("4-link full-width peak = %v, want 160", got)
+	}
+}
+
+func TestGeometryValidateRejects(t *testing.T) {
+	g := Geometries(HMC11)
+	g.Vaults = 15 // not divisible by quadrants
+	if err := g.Validate(); err == nil {
+		t.Error("indivisible vaults accepted")
+	}
+	g = Geometries(HMC11)
+	g.SizeBytes = 1000
+	if err := g.Validate(); err == nil {
+		t.Error("non-divisible capacity accepted")
+	}
+	g = Geometries(HMC11)
+	g.DRAMLayers = 3
+	if err := g.Validate(); err == nil {
+		t.Error("layer/capacity mismatch accepted")
+	}
+	g = Geometries(HMC11)
+	g.PageBytes = 0
+	if err := g.Validate(); err == nil {
+		t.Error("zero page accepted")
+	}
+}
+
+func TestGenerationString(t *testing.T) {
+	for _, g := range []Generation{HMC10, HMC11, HMC20} {
+		if s := g.String(); !strings.Contains(s, "HMC") {
+			t.Errorf("String(%d) = %q", int(g), s)
+		}
+	}
+	if s := Generation(9).String(); !strings.Contains(s, "9") {
+		t.Errorf("unknown generation String = %q", s)
+	}
+}
+
+func TestGeometriesPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown generation did not panic")
+		}
+	}()
+	Geometries(Generation(42))
+}

@@ -1,0 +1,188 @@
+package hmc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestTableII pins the request/response sizes of Table II.
+func TestTableII(t *testing.T) {
+	// Read: 1-flit request, 2-9 flit response.
+	if got := Flits(0); got != 1 {
+		t.Errorf("empty packet = %d flits, want 1", got)
+	}
+	for _, size := range PayloadSizes() {
+		respFlits := Flits(size)
+		if respFlits < 2 || respFlits > 9 {
+			t.Errorf("size %d: response %d flits outside 2-9", size, respFlits)
+		}
+		if got := TransactionBytes(CmdRead, size); got != 16+16+size {
+			t.Errorf("read txn %d B payload = %d wire bytes", size, got)
+		}
+		if got := TransactionBytes(CmdWrite, size); got != 16+size+16 {
+			t.Errorf("write txn %d B payload = %d wire bytes", size, got)
+		}
+	}
+	if Flits(128) != 9 || Flits(16) != 2 {
+		t.Error("flit math broken at the extremes")
+	}
+}
+
+func TestPayloadSizes(t *testing.T) {
+	want := []int{16, 32, 48, 64, 80, 96, 112, 128}
+	got := PayloadSizes()
+	if len(got) != len(want) {
+		t.Fatalf("%d sizes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("size[%d] = %d, want %d", i, got[i], want[i])
+		}
+		if !ValidPayload(want[i]) {
+			t.Errorf("%d rejected as payload", want[i])
+		}
+	}
+	for _, bad := range []int{0, 8, 17, 129, 144, -16} {
+		if ValidPayload(bad) {
+			t.Errorf("%d accepted as payload", bad)
+		}
+	}
+}
+
+// TestEffectiveFraction pins the Section IV-D overhead arithmetic:
+// 128 B requests reach 89 % efficiency, 16 B only 50 %.
+func TestEffectiveFraction(t *testing.T) {
+	if got := EffectiveFraction(128); got < 0.888 || got > 0.889 {
+		t.Errorf("128 B efficiency = %v, want ~0.889", got)
+	}
+	if got := EffectiveFraction(16); got != 0.5 {
+		t.Errorf("16 B efficiency = %v, want 0.5", got)
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	p := &Packet{Cmd: CmdWrite, Tag: 0x1234, Addr: 0x2_1234_5678, Seq: 5, ErrStat: 0, Data: data}
+	wire, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 16+64 {
+		t.Fatalf("wire size = %d, want 80", len(wire))
+	}
+	q, err := DecodePacket(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cmd != p.Cmd || q.Tag != p.Tag || q.Addr != p.Addr || q.Seq != p.Seq {
+		t.Fatalf("decoded %+v, want %+v", q, p)
+	}
+	if !bytes.Equal(q.Data, p.Data) {
+		t.Fatal("payload corrupted in round trip")
+	}
+}
+
+func TestPacketHeaderTailOnly(t *testing.T) {
+	p := &Packet{Cmd: CmdRead, Tag: 7, Addr: 0x80}
+	wire, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != FlitBytes {
+		t.Fatalf("read request = %d bytes, want one flit", len(wire))
+	}
+	q, err := DecodePacket(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Data != nil {
+		t.Fatal("read request decoded with payload")
+	}
+}
+
+func TestPacketCRCDetectsCorruption(t *testing.T) {
+	p := &Packet{Cmd: CmdWrite, Tag: 1, Addr: 0x100, Data: make([]byte, 32)}
+	wire, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, 5, 12, len(wire) - 5} {
+		bad := append([]byte(nil), wire...)
+		bad[pos] ^= 0x40
+		if _, err := DecodePacket(bad); err == nil {
+			t.Errorf("corruption at byte %d not detected", pos)
+		}
+	}
+}
+
+func TestPacketErrors(t *testing.T) {
+	if _, err := (&Packet{Cmd: CmdWrite, Data: make([]byte, 17)}).Encode(); err == nil {
+		t.Error("unaligned payload accepted")
+	}
+	if _, err := (&Packet{Cmd: CmdWrite, Data: make([]byte, 256)}).Encode(); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	if _, err := (&Packet{Cmd: CmdRead, Addr: 1 << 34}).Encode(); err == nil {
+		t.Error("address beyond 34 bits accepted")
+	}
+	if _, err := DecodePacket(make([]byte, 8)); err == nil {
+		t.Error("short packet accepted")
+	}
+	if _, err := DecodePacket(make([]byte, 24)); err == nil {
+		t.Error("non-flit-aligned packet accepted")
+	}
+}
+
+// TestPacketRoundTripProperty: any valid (cmd, tag, addr, seq, size)
+// survives encode/decode, including the 34-bit address extremes.
+func TestPacketRoundTripProperty(t *testing.T) {
+	sizes := PayloadSizes()
+	f := func(cmd, seq uint8, tag uint16, addr uint64, sizeIdx uint8, fill byte, empty bool) bool {
+		p := &Packet{
+			Cmd:  Command(cmd % 4),
+			Tag:  tag,
+			Addr: addr % (1 << AddressBits),
+			Seq:  seq % 8,
+		}
+		if !empty {
+			p.Data = bytes.Repeat([]byte{fill}, sizes[int(sizeIdx)%len(sizes)])
+		}
+		wire, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		q, err := DecodePacket(wire)
+		if err != nil {
+			return false
+		}
+		return q.Cmd == p.Cmd && q.Tag == p.Tag && q.Addr == p.Addr &&
+			q.Seq == p.Seq && bytes.Equal(q.Data, p.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	for _, c := range []Command{CmdRead, CmdWrite, CmdResponse, CmdError} {
+		if c.String() == "" {
+			t.Errorf("empty string for command %d", c)
+		}
+	}
+	if Command(99).String() == "" {
+		t.Error("unknown command has empty string")
+	}
+}
+
+func TestTransactionBytesPanicsOnResponse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TransactionBytes(CmdResponse) did not panic")
+		}
+	}()
+	TransactionBytes(CmdResponse, 64)
+}

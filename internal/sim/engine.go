@@ -1,0 +1,109 @@
+package sim
+
+import "container/heap"
+
+// event is a scheduled callback. seq breaks ties so that events
+// scheduled earlier at the same timestamp run first (deterministic
+// FIFO semantics within a timestep).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator. It is not safe
+// for concurrent use; run one Engine per goroutine.
+type Engine struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have executed so far; useful for
+// progress accounting and kernel tests.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending reports the number of scheduled-but-unexecuted events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay simulated time. A negative delay is
+// treated as zero (run at the current timestamp, after events already
+// scheduled there).
+func (e *Engine) Schedule(delay Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t. Scheduling in the past panics: it is
+// always a model bug, and silently reordering history would corrupt
+// every FIFO reservation made since.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the single next event, advancing the clock to its
+// timestamp. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, leaving later
+// events pending, and finally advances the clock to deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

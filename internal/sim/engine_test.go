@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOWithinTimestamp(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events reordered at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.Schedule(10, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("nested schedule produced %v, want [10 15]", hits)
+	}
+}
+
+func TestEngineZeroAndNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(7, func() {
+		e.Schedule(0, func() { ran++ })
+		e.Schedule(-3, func() { ran++ })
+	})
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("zero/negative-delay events ran %d times, want 2", ran)
+	}
+	if e.Now() != 7 {
+		t.Fatalf("clock = %v, want 7", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := make(map[Time]bool)
+	for _, d := range []Duration{10, 20, 30, 40} {
+		d := d
+		e.Schedule(d, func() { ran[d] = true })
+	}
+	e.RunUntil(25)
+	if !ran[10] || !ran[20] || ran[30] || ran[40] {
+		t.Fatalf("RunUntil(25) executed wrong set: %v", ran)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock after RunUntil = %v, want 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if !ran[30] || !ran[40] {
+		t.Fatal("remaining events did not run")
+	}
+}
+
+func TestEngineProcessedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 17; i++ {
+		e.Schedule(Duration(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 17 {
+		t.Fatalf("processed = %d, want 17", e.Processed())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time
+// order and the clock ends at the max delay.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var seen []Time
+		var max Time
+		for _, d := range delays {
+			d := Duration(d)
+			if d > max {
+				max = d
+			}
+			e.Schedule(d, func() { seen = append(seen, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || e.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ps"},
+		{1500, "1.50ns"},
+		{2 * Microsecond, "2.00us"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+		{-1500, "-1.50ns"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromNanoseconds(547); got != 547*Nanosecond {
+		t.Errorf("FromNanoseconds(547) = %v", got)
+	}
+	if got := FromSeconds(0.5); got != 500*Millisecond {
+		t.Errorf("FromSeconds(0.5) = %v", got)
+	}
+	if got := (1500 * Nanosecond).Microseconds(); got != 1.5 {
+		t.Errorf("Microseconds = %v, want 1.5", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds = %v, want 2", got)
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64 seeded xorshift64*). The GUPS hardware uses an LFSR for
+// address generation; we need the same properties — uniform, cheap,
+// reproducible — without math/rand's locking.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator for the given seed. Seed zero is remapped
+// (xorshift has a zero fixed point).
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator, passing the seed through splitmix64 so
+// that small consecutive seeds yield unrelated streams.
+func (r *RNG) Seed(seed uint64) {
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545f4914f6cdd1d
+	}
+	r.state = z
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Uint64n returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with n == 0")
+	}
+	// Lemire's multiply-shift rejection method.
+	for {
+		v := r.Uint64()
+		hi, lo := mul128(v, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo).
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid, c2 := t&mask, t>>32
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + c2 + (t >> 32)
+	return hi, lo
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedIndependence(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical draws", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestRNGUint64nBounds(t *testing.T) {
+	r := NewRNG(7)
+	for _, n := range []uint64{1, 2, 3, 16, 1000, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	NewRNG(1).Uint64n(0)
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; mean < 0.47 || mean > 0.53 {
+		t.Fatalf("Float64 mean = %v, not ~0.5", mean)
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(99)
+	const buckets, draws = 16, 160000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	want := draws / buckets
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d count %d deviates >10%% from %d", b, c, want)
+		}
+	}
+}
+
+// Property: mul128 agrees with shifted multiplication for values that
+// fit in 64 bits.
+func TestMul128Property(t *testing.T) {
+	f := func(a, b uint32) bool {
+		hi, lo := mul128(uint64(a), uint64(b))
+		return hi == 0 && lo == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMul128HighBits(t *testing.T) {
+	hi, lo := mul128(1<<63, 4)
+	if hi != 2 || lo != 0 {
+		t.Fatalf("mul128(2^63,4) = (%d,%d), want (2,0)", hi, lo)
+	}
+	hi, lo = mul128(^uint64(0), ^uint64(0))
+	// (2^64-1)^2 = 2^128 - 2^65 + 1
+	if hi != ^uint64(0)-1 || lo != 1 {
+		t.Fatalf("mul128(max,max) = (%d,%d)", hi, lo)
+	}
+}

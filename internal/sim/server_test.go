@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestServerIdleStart(t *testing.T) {
+	var s Server
+	start, end := s.Reserve(100, 10)
+	if start != 100 || end != 110 {
+		t.Fatalf("Reserve on idle server = [%v,%v), want [100,110)", start, end)
+	}
+}
+
+func TestServerQueuesFIFO(t *testing.T) {
+	var s Server
+	s.Reserve(0, 50)
+	start, end := s.Reserve(10, 20)
+	if start != 50 || end != 70 {
+		t.Fatalf("second reservation = [%v,%v), want [50,70)", start, end)
+	}
+	if got := s.Backlog(10); got != 60 {
+		t.Fatalf("backlog = %v, want 60", got)
+	}
+}
+
+func TestServerGapThenIdle(t *testing.T) {
+	var s Server
+	s.Reserve(0, 10)
+	start, _ := s.Reserve(100, 5)
+	if start != 100 {
+		t.Fatalf("reservation after idle gap starts at %v, want 100", start)
+	}
+	if s.Backlog(200) != 0 {
+		t.Fatal("idle server reported backlog")
+	}
+}
+
+func TestServerReserveAt(t *testing.T) {
+	var s Server
+	// Data not ready until t=40 even though the bus is free at t=0.
+	start, end := s.ReserveAt(10, 40, 5)
+	if start != 40 || end != 45 {
+		t.Fatalf("ReserveAt = [%v,%v), want [40,45)", start, end)
+	}
+}
+
+func TestServerUtilization(t *testing.T) {
+	var s Server
+	s.Reserve(0, 25)
+	s.Reserve(0, 25)
+	if got := s.Utilization(100); got != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+	if got := s.Utilization(0); got != 0 {
+		t.Fatalf("utilization with zero elapsed = %v, want 0", got)
+	}
+	s.Reset()
+	if s.BusyTime() != 0 || s.FreeAt() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestServerNegativeDuration(t *testing.T) {
+	var s Server
+	start, end := s.Reserve(10, -5)
+	if start != 10 || end != 10 {
+		t.Fatalf("negative duration reservation = [%v,%v), want [10,10)", start, end)
+	}
+}
+
+// Property: reservations made with nondecreasing now never overlap and
+// are granted in order.
+func TestServerNoOverlapProperty(t *testing.T) {
+	f := func(arrivalGaps, durations []uint8) bool {
+		n := len(arrivalGaps)
+		if len(durations) < n {
+			n = len(durations)
+		}
+		var s Server
+		var now Time
+		var prevEnd Time
+		for i := 0; i < n; i++ {
+			now += Time(arrivalGaps[i])
+			start, end := s.Reserve(now, Duration(durations[i]))
+			if start < prevEnd || start < now || end != start+Duration(durations[i]) {
+				return false
+			}
+			prevEnd = end
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total busy time equals the sum of requested durations.
+func TestServerBusyAccountingProperty(t *testing.T) {
+	f := func(durations []uint8) bool {
+		var s Server
+		var sum Duration
+		for _, d := range durations {
+			s.Reserve(0, Duration(d))
+			sum += Duration(d)
+		}
+		return s.BusyTime() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

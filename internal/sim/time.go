@@ -1,0 +1,71 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel used by every timing model in hmcsim: an event engine with a
+// picosecond clock, FIFO reservation servers for modelling serial
+// resources (buses, SerDes lanes, DRAM banks), bounded queues, and a
+// fast deterministic random number generator.
+//
+// The kernel is deliberately single-threaded: experiments that want
+// parallelism run independent engines in separate goroutines.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a simulated timestamp measured in integer picoseconds.
+//
+// Picoseconds are fine enough to represent the 187.5 MHz FPGA clock
+// (5333 ps period) and 15 Gbps SerDes bit times (66.6 ps) without
+// rounding drift, while int64 still covers ~106 days of simulated time.
+type Time int64
+
+// Duration is a span of simulated time, also in picoseconds.
+type Duration = Time
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond  Duration = 1000 * Picosecond
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Nanoseconds reports t as a float64 number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds reports t as a float64 number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds reports t as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Std converts t to a time.Duration (nanosecond resolution, rounding
+// toward zero). Useful for human-readable printing.
+func (t Time) Std() time.Duration { return time.Duration(t / Nanosecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%s", (-t).String())
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.2fns", t.Nanoseconds())
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// FromNanoseconds converts a float64 nanosecond value into a Time,
+// rounding to the nearest picosecond.
+func FromNanoseconds(ns float64) Time { return Time(ns*1000 + 0.5) }
+
+// FromSeconds converts a float64 second count into a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }

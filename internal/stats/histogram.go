@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-width bucket histogram over [lo, hi), with
+// underflow/overflow buckets, used for latency distributions.
+type Histogram struct {
+	lo, hi  float64
+	width   float64
+	buckets []uint64
+	under   uint64
+	over    uint64
+	summary Summary
+}
+
+// NewHistogram builds a histogram with n equal buckets across [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{
+		lo:      lo,
+		hi:      hi,
+		width:   (hi - lo) / float64(n),
+		buckets: make([]uint64, n),
+	}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	h.summary.Add(x)
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.buckets) { // guard float rounding at the edge
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// N reports total observations including out-of-range ones.
+func (h *Histogram) N() uint64 { return h.summary.N() }
+
+// Summary returns the streaming summary of all observations.
+func (h *Histogram) Summary() Summary { return h.summary }
+
+// Bucket reports the count in bucket i and its [lo, hi) range.
+func (h *Histogram) Bucket(i int) (lo, hi float64, count uint64) {
+	lo = h.lo + float64(i)*h.width
+	return lo, lo + h.width, h.buckets[i]
+}
+
+// Buckets reports the number of in-range buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// OutOfRange reports underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over uint64) { return h.under, h.over }
+
+// CumulativeAt returns the fraction of observations <= x.
+func (h *Histogram) CumulativeAt(x float64) float64 {
+	if h.summary.N() == 0 {
+		return 0
+	}
+	var c uint64 = h.under
+	for i := range h.buckets {
+		_, bhi, n := h.Bucket(i)
+		if bhi <= x {
+			c += n
+		}
+	}
+	if x >= h.hi {
+		c += h.over
+	}
+	return float64(c) / float64(h.summary.N())
+}
+
+// String renders an ASCII sketch, one row per nonempty bucket.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	max := uint64(1)
+	for _, c := range h.buckets {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi, _ := h.Bucket(i)
+		bar := strings.Repeat("#", int(1+c*40/max))
+		fmt.Fprintf(&b, "[%10.3g,%10.3g) %8d %s\n", lo, hi, c, bar)
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.under)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "overflow %d\n", h.over)
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		lo, hi, c := h.Bucket(i)
+		if c != 1 {
+			t.Fatalf("bucket %d count = %d", i, c)
+		}
+		if lo != float64(i) || hi != float64(i+1) {
+			t.Fatalf("bucket %d bounds = [%v,%v)", i, lo, hi)
+		}
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-1)
+	h.Add(10) // hi is exclusive
+	h.Add(100)
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("under/over = %d/%d", under, over)
+	}
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+}
+
+func TestHistogramEdgeRounding(t *testing.T) {
+	// A value just below hi must land in the last bucket, never panic.
+	h := NewHistogram(0, 0.3, 3)
+	h.Add(0.3 - 1e-16)
+	_, _, c := h.Bucket(2)
+	if c != 1 {
+		t.Fatalf("edge value not in last bucket: %d", c)
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if got := h.CumulativeAt(50); got != 0.5 {
+		t.Fatalf("CDF(50) = %v", got)
+	}
+	if got := h.CumulativeAt(100); got != 1.0 {
+		t.Fatalf("CDF(100) = %v", got)
+	}
+	var empty Histogram
+	if (&empty).CumulativeAt(1) != 0 {
+		t.Fatal("empty CDF nonzero")
+	}
+}
+
+func TestHistogramSummaryAgrees(t *testing.T) {
+	h := NewHistogram(0, 10, 4)
+	for _, x := range []float64{1, 2, 3, 4} {
+		h.Add(x)
+	}
+	s := h.Summary()
+	if s.Mean() != 2.5 || s.N() != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.Add(0.5)
+	h.Add(0.6)
+	h.Add(3.5)
+	h.Add(-1)
+	out := h.String()
+	if !strings.Contains(out, "underflow 1") {
+		t.Fatalf("String missing underflow: %q", out)
+	}
+	if strings.Count(out, "#") < 2 {
+		t.Fatalf("String missing bars: %q", out)
+	}
+}
+
+func TestHistogramInvalidBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid bounds did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}

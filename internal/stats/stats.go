@@ -1,0 +1,195 @@
+// Package stats provides the statistical tooling the characterization
+// harness needs: streaming summaries (Welford), histograms, ordinary
+// least-squares linear regression (used for the paper's Figure 11/12
+// fits), and Little's-law occupancy analysis (Figure 17).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of observations with O(1) memory,
+// tracking count, mean, variance (Welford's algorithm), min and max.
+type Summary struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddN records the same observation k times (cheap for histograms of
+// identical service times).
+func (s *Summary) AddN(x float64, k uint64) {
+	for i := uint64(0); i < k; i++ {
+		s.Add(x)
+	}
+}
+
+// N reports the number of observations.
+func (s Summary) N() uint64 { return s.n }
+
+// Mean reports the arithmetic mean (0 if empty).
+func (s Summary) Mean() float64 { return s.mean }
+
+// Min reports the smallest observation (0 if empty).
+func (s Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max reports the largest observation (0 if empty).
+func (s Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Variance reports the unbiased sample variance (0 for n < 2).
+func (s Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (s Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Merge folds other into s, as if all of other's observations had
+// been Added to s (Chan et al. parallel variance combination).
+func (s *Summary) Merge(other Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = other
+		return
+	}
+	n1, n2 := float64(s.n), float64(other.n)
+	delta := other.mean - s.mean
+	tot := n1 + n2
+	s.m2 += other.m2 + delta*delta*n1*n2/tot
+	s.mean += delta * n2 / tot
+	s.n += other.n
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+// String renders a compact human-readable form.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g min=%.3g max=%.3g sd=%.3g",
+		s.n, s.Mean(), s.Min(), s.Max(), s.StdDev())
+}
+
+// Fit is the result of an ordinary least-squares line fit y = a + b*x.
+type Fit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+	N         int
+}
+
+// At evaluates the fitted line at x.
+func (f Fit) At(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// SolveX returns the x at which the fitted line reaches y. It returns
+// an error for a (near-)zero slope.
+func (f Fit) SolveX(y float64) (float64, error) {
+	if math.Abs(f.Slope) < 1e-300 {
+		return 0, fmt.Errorf("stats: cannot invert fit with zero slope")
+	}
+	return (y - f.Intercept) / f.Slope, nil
+}
+
+// LinearFit computes the least-squares line through (x[i], y[i]).
+// It returns an error when fewer than two points are supplied, when
+// the slices disagree in length, or when all x are identical.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return Fit{}, fmt.Errorf("stats: need at least 2 points, have %d", n)
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("stats: degenerate fit, all x identical")
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 1.0
+	if syy > 0 {
+		r2 = (sxy * sxy) / (sxx * syy)
+	}
+	return Fit{Intercept: a, Slope: b, R2: r2, N: n}, nil
+}
+
+// Littles computes the time-average number of items in a system from
+// Little's law: L = lambda * W. The paper applies it to the saturated
+// vault controller (Section IV-E4) to infer outstanding-request depth.
+//
+// ratePerSec is the arrival rate (requests/second) and waitSeconds the
+// mean residence time.
+func Littles(ratePerSec, waitSeconds float64) float64 {
+	return ratePerSec * waitSeconds
+}
+
+// Percentile returns the p-th percentile (0..100) of values using
+// nearest-rank on a sorted copy. It returns 0 for an empty slice.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !approx(s.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if !approx(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", s.Variance())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Variance() != 0 {
+		t.Fatal("empty summary not all-zero")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(-3)
+	if s.Mean() != -3 || s.Min() != -3 || s.Max() != -3 || s.Variance() != 0 {
+		t.Fatal("single-element summary wrong")
+	}
+}
+
+func TestSummaryAddN(t *testing.T) {
+	var a, b Summary
+	a.AddN(5, 10)
+	for i := 0; i < 10; i++ {
+		b.Add(5)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() {
+		t.Fatal("AddN disagrees with repeated Add")
+	}
+}
+
+// Property: merging two summaries equals adding all points to one.
+func TestSummaryMergeProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		ok := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e8 }
+		var a, b, all Summary
+		for _, x := range xs {
+			if !ok(x) {
+				continue
+			}
+			a.Add(x)
+			all.Add(x)
+		}
+		for _, y := range ys {
+			if !ok(y) {
+				continue
+			}
+			b.Add(y)
+			all.Add(y)
+		}
+		a.Merge(b)
+		if a.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		tol := 1e-6 * (1 + math.Abs(all.Mean()))
+		return approx(a.Mean(), all.Mean(), tol) &&
+			a.Min() == all.Min() && a.Max() == all.Max() &&
+			approx(a.Variance(), all.Variance(), 1e-4*(1+all.Variance()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Slope, 2, 1e-12) || !approx(fit.Intercept, 3, 1e-12) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if !approx(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+	if !approx(fit.At(10), 23, 1e-12) {
+		t.Fatalf("At(10) = %v", fit.At(10))
+	}
+	x, err := fit.SolveX(23)
+	if err != nil || !approx(x, 10, 1e-12) {
+		t.Fatalf("SolveX = %v, %v", x, err)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Slope, 2, 0.1) || !approx(fit.Intercept, 0, 0.3) {
+		t.Fatalf("noisy fit = %+v", fit)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point fit succeeded")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths succeeded")
+	}
+	if _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("vertical line fit succeeded")
+	}
+	flat, err := LinearFit([]float64{1, 2}, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flat.SolveX(7); err == nil {
+		t.Error("SolveX on zero slope succeeded")
+	}
+}
+
+// Property: fitting y = a + b*x exactly recovers a and b for any
+// reasonable a, b and >= 2 distinct xs.
+func TestLinearFitRecoveryProperty(t *testing.T) {
+	f := func(a, b int8, n uint8) bool {
+		pts := int(n%16) + 2
+		xs := make([]float64, pts)
+		ys := make([]float64, pts)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = float64(a) + float64(b)*xs[i]
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return approx(fit.Slope, float64(b), 1e-9) && approx(fit.Intercept, float64(a), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLittles(t *testing.T) {
+	// 100 req/s with 0.05 s residence => 5 in system.
+	if got := Littles(100, 0.05); !approx(got, 5, 1e-12) {
+		t.Fatalf("Littles = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{5, 1, 4, 2, 3}
+	if got := Percentile(v, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(v, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(v, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	// Percentile must not mutate its input.
+	if v[0] != 5 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}

@@ -1,0 +1,204 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"hmcsim/internal/cooling"
+	"hmcsim/internal/power"
+)
+
+var (
+	roFull = power.Activity{RawGBps: 21.7, ReadMRPS: 135.7}
+	woFull = power.Activity{RawGBps: 13.3, WriteMRPS: 83.3, PureWrite: true}
+	rwFull = power.Activity{RawGBps: 24.0, ReadMRPS: 75, WriteMRPS: 75}
+)
+
+func cfg(t *testing.T, name string) cooling.Config {
+	t.Helper()
+	c, err := cooling.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestIdleTemperaturesMatchTableIII: the calibrated network reproduces
+// the measured idle temperatures exactly.
+func TestIdleTemperaturesMatchTableIII(t *testing.T) {
+	m := DefaultModel()
+	for _, c := range cooling.Configs() {
+		got := m.IdleSurfaceC(c)
+		if math.Abs(got-c.IdleHMCSurfaceC) > 0.05 {
+			t.Errorf("%s idle = %.2f C, want %.1f", c.Name, got, c.IdleHMCSurfaceC)
+		}
+	}
+}
+
+// TestFailureMatrix reproduces Section IV-C's observed failures:
+// read-only survives every configuration (reaching ~80 C at Cfg4);
+// write-only fails at Cfg3 and Cfg4; read-modify-write fails only at
+// Cfg4.
+func TestFailureMatrix(t *testing.T) {
+	m := DefaultModel()
+	pm := power.DefaultModel()
+	type tc struct {
+		activity power.Activity
+		writeSig bool
+		fails    map[string]bool
+	}
+	cases := []tc{
+		{roFull, false, map[string]bool{"Cfg1": false, "Cfg2": false, "Cfg3": false, "Cfg4": false}},
+		{woFull, true, map[string]bool{"Cfg1": false, "Cfg2": false, "Cfg3": true, "Cfg4": true}},
+		{rwFull, true, map[string]bool{"Cfg1": false, "Cfg2": false, "Cfg3": false, "Cfg4": true}},
+	}
+	for _, c := range cases {
+		for name, wantFail := range c.fails {
+			temp := m.SteadySurfaceC(cfg(t, name), pm, c.activity)
+			if got := m.Exceeds(temp, c.writeSig); got != wantFail {
+				t.Errorf("activity %+v at %s: %.1f C, fail=%v, want %v",
+					c.activity, name, temp, got, wantFail)
+			}
+		}
+	}
+}
+
+// TestReadOnlyReaches80AtCfg4: the paper's hottest surviving point.
+func TestReadOnlyReaches80AtCfg4(t *testing.T) {
+	m := DefaultModel()
+	temp := m.SteadySurfaceC(cfg(t, "Cfg4"), power.DefaultModel(), roFull)
+	if temp < 76 || temp > 84 {
+		t.Fatalf("ro at Cfg4 = %.1f C, want ~80", temp)
+	}
+}
+
+// TestFigure11aSlope: in Cfg2, raising read bandwidth from 5 to
+// 20 GB/s warms the device ~3 C.
+func TestFigure11aSlope(t *testing.T) {
+	m := DefaultModel()
+	pm := power.DefaultModel()
+	c2 := cfg(t, "Cfg2")
+	at := func(gbps float64) float64 {
+		s := gbps / roFull.RawGBps
+		return m.SteadySurfaceC(c2, pm, power.Activity{RawGBps: gbps, ReadMRPS: roFull.ReadMRPS * s})
+	}
+	delta := at(20) - at(5)
+	if delta < 2 || delta > 5.5 {
+		t.Fatalf("Cfg2 5->20 GB/s warming = %.2f C, want ~3-4", delta)
+	}
+}
+
+// TestWriteSlopeSteeper: wo warms faster per GB/s than ro (Figure 11a).
+func TestWriteSlopeSteeper(t *testing.T) {
+	m := DefaultModel()
+	pm := power.DefaultModel()
+	c2 := cfg(t, "Cfg2")
+	roRise := (m.SteadySurfaceC(c2, pm, roFull) - m.IdleSurfaceC(c2)) / roFull.RawGBps
+	woRise := (m.SteadySurfaceC(c2, pm, woFull) - m.IdleSurfaceC(c2)) / woFull.RawGBps
+	if woRise <= roRise {
+		t.Fatalf("wo slope %.3f C/GBps not steeper than ro %.3f", woRise, roRise)
+	}
+}
+
+func TestTransientSettles(t *testing.T) {
+	m := DefaultModel()
+	curve := m.Transient(43.1, 60, 200, 1)
+	if len(curve) != 201 {
+		t.Fatalf("curve length %d, want 201", len(curve))
+	}
+	if curve[0] != 43.1 {
+		t.Fatalf("curve start %.1f", curve[0])
+	}
+	// Monotone approach toward steady state.
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatal("heating transient not monotone")
+		}
+	}
+	if math.Abs(curve[200]-60) > 0.05 {
+		t.Fatalf("after 200 s, %.2f C not settled at 60", curve[200])
+	}
+	if !m.SettledAfter(43.1, 60, 200) {
+		t.Fatal("SettledAfter false at 200 s")
+	}
+	if m.SettledAfter(43.1, 60, 5) {
+		t.Fatal("SettledAfter true after only 5 s")
+	}
+}
+
+func TestTransientDegenerate(t *testing.T) {
+	m := DefaultModel()
+	if got := m.Transient(50, 60, -1, 1); len(got) != 1 || got[0] != 50 {
+		t.Fatalf("negative duration handled wrong: %v", got)
+	}
+	if got := m.Transient(50, 60, 10, 0); len(got) != 1 {
+		t.Fatalf("zero step handled wrong: %v", got)
+	}
+}
+
+func TestJunctionOffset(t *testing.T) {
+	m := DefaultModel()
+	if j := m.JunctionC(70); j < 75 || j > 80 {
+		t.Fatalf("junction estimate %.1f, want surface+5..10", j)
+	}
+}
+
+func TestFailureThresholds(t *testing.T) {
+	m := DefaultModel()
+	if m.FailureThresholdC(false) != 85 || m.FailureThresholdC(true) != 75 {
+		t.Fatal("thresholds drifted from the paper's 85/75")
+	}
+	if m.Exceeds(80, false) {
+		t.Fatal("80 C read-only flagged")
+	}
+	if !m.Exceeds(80, true) {
+		t.Fatal("80 C write-significant not flagged")
+	}
+}
+
+func TestRequiredResistanceRoundTrip(t *testing.T) {
+	m := DefaultModel()
+	pm := power.DefaultModel()
+	// Target the Cfg2 steady temperature; the required resistance
+	// should be close to Cfg2's (leakage reference differs slightly).
+	c2 := cfg(t, "Cfg2")
+	target := m.SteadySurfaceC(c2, pm, roFull)
+	r, err := m.RequiredResistance(target, pm, roFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-c2.SharedResistanceKPerW) > 0.15 {
+		t.Fatalf("required resistance %.3f, want ~%.3f", r, c2.SharedResistanceKPerW)
+	}
+}
+
+func TestRequiredResistanceUnreachable(t *testing.T) {
+	m := DefaultModel()
+	if _, err := m.RequiredResistance(20, power.DefaultModel(), roFull); err == nil {
+		t.Fatal("sub-ambient target accepted")
+	}
+}
+
+// TestFigure12Coupling: holding a fixed temperature while bandwidth
+// rises requires more cooling power; ~1.5 W per 16 GB/s on average.
+func TestFigure12Coupling(t *testing.T) {
+	m := DefaultModel()
+	pm := power.DefaultModel()
+	at := func(gbps float64) float64 {
+		s := gbps / roFull.RawGBps
+		a := power.Activity{RawGBps: gbps, ReadMRPS: roFull.ReadMRPS * s}
+		w, err := m.CoolingPowerForTarget(60, pm, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	low, high := at(5), at(21)
+	if high <= low {
+		t.Fatalf("cooling power did not rise with bandwidth: %.2f -> %.2f", low, high)
+	}
+	delta := (high - low) * 16 / 16
+	if delta < 0.5 || delta > 4 {
+		t.Fatalf("cooling power delta over 16 GB/s = %.2f W, want ~1.5", delta)
+	}
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"fmt"
+
+	"hmcsim/internal/fpga"
+	"hmcsim/internal/gups"
+	"hmcsim/internal/hmc"
+	"hmcsim/internal/sim"
+	"hmcsim/internal/stats"
+)
+
+// ReplayConfig drives a trace through the simulated stack.
+type ReplayConfig struct {
+	Generation hmc.Generation
+	DevParams  *hmc.Params
+	// Window is the maximum number of independent accesses in flight
+	// (an out-of-order core's MSHR budget). Dependent accesses always
+	// serialize regardless. Default 64.
+	Window int
+	// MaxAccesses bounds unbounded generators (0 = until the
+	// generator ends; required for unbounded ones).
+	MaxAccesses int
+	// Port selects the GUPS port identity used for drain accounting.
+	Port int
+	// DrainFlitsPerCycle overrides the response-drain rate. Replay
+	// models a host core's memory interface rather than one Verilog
+	// GUPS port, so the default is 4 flits/cycle (the GUPS port's 1
+	// flit/cycle would cap any single stream at ~21 M refs/s).
+	DrainFlitsPerCycle float64
+}
+
+// ReplayResult summarizes a replayed trace.
+type ReplayResult struct {
+	Accesses  uint64
+	Elapsed   sim.Duration
+	DataGBps  float64
+	RawGBps   float64
+	LatencyNs stats.Summary
+	// DerefPerSec is Accesses/Elapsed — the figure of merit for
+	// dependent chains.
+	DerefPerSec float64
+}
+
+// String renders a one-line summary.
+func (r ReplayResult) String() string {
+	return fmt.Sprintf("%d accesses in %v: %.2f GB/s data (%.2f raw), %.2fM refs/s, lat avg %.0f ns",
+		r.Accesses, r.Elapsed, r.DataGBps, r.RawGBps, r.DerefPerSec/1e6, r.LatencyNs.Mean())
+}
+
+// Replay runs the trace to completion and reports throughput and
+// latency. Independent accesses pipeline up to Window deep;
+// dependent accesses wait for the previous response (pointer chase).
+func Replay(gen Generator, cfg ReplayConfig) (ReplayResult, error) {
+	if gen == nil {
+		return ReplayResult{}, fmt.Errorf("trace: nil generator")
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = 64
+	}
+	fp := fpga.DefaultParams()
+	fp.RxDrainFlitsPerCycle = 4
+	if cfg.DrainFlitsPerCycle > 0 {
+		fp.RxDrainFlitsPerCycle = cfg.DrainFlitsPerCycle
+	}
+	rig, err := gups.BuildRig(gups.Config{
+		Generation: cfg.Generation,
+		DevParams:  cfg.DevParams,
+		FPGAParams: &fp,
+		Ports:      1,
+	})
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	capMask := rig.Dev.AddressMap().CapacityMask()
+
+	var res ReplayResult
+	inFlight := 0
+	exhausted := false
+	blockedOnDep := false
+	var pending *Access // next access waiting for admission/window
+
+	var pump func()
+	issue := func(a Access) {
+		inFlight++
+		res.Accesses++
+		addr := a.Addr & capMask
+		req := hmc.Request{Addr: addr, Size: a.Size, Write: a.Write, Port: cfg.Port}
+		submitted := rig.Eng.Now()
+		if a.Dependent {
+			blockedOnDep = true
+		}
+		rig.Ctrl.Submit(req, func(r fpga.Result) {
+			inFlight--
+			res.LatencyNs.Add((r.PortDeliver - submitted).Nanoseconds())
+			res.DataGBps += 0 // accumulated at the end from counters
+			if a.Dependent {
+				blockedOnDep = false
+			}
+			pump()
+		})
+	}
+	pump = func() {
+		for {
+			if blockedOnDep || inFlight >= window || exhausted {
+				return
+			}
+			if pending == nil {
+				if cfg.MaxAccesses > 0 && res.Accesses >= uint64(cfg.MaxAccesses) {
+					exhausted = true
+					return
+				}
+				a, ok := gen.Next()
+				if !ok {
+					exhausted = true
+					return
+				}
+				if !hmc.ValidPayload(a.Size) {
+					a.Size = 64
+				}
+				pending = &a
+			}
+			a := *pending
+			// A dependent access must wait until the pipe is empty.
+			if a.Dependent && inFlight > 0 {
+				return
+			}
+			pending = nil
+			if !rig.Ctrl.CanIssue(a.Addr & capMask) {
+				pending = &a
+				rig.Ctrl.WaitBank(a.Addr&capMask, pump)
+				return
+			}
+			issue(a)
+			if a.Dependent {
+				return
+			}
+		}
+	}
+	rig.Eng.Schedule(0, pump)
+	rig.Eng.Run()
+
+	if inFlight != 0 || (!exhausted && pending != nil) {
+		return ReplayResult{}, fmt.Errorf("trace: replay stalled with %d in flight", inFlight)
+	}
+	res.Elapsed = rig.Eng.Now()
+	c := rig.Dev.Counters()
+	secs := res.Elapsed.Seconds()
+	if secs > 0 {
+		res.DataGBps = float64(c.DataBytes) / secs / 1e9
+		res.RawGBps = float64(c.WireBytes) / secs / 1e9
+		res.DerefPerSec = float64(res.Accesses) / secs
+	}
+	return res, nil
+}

@@ -1,0 +1,227 @@
+// Package trace provides application-like access-stream generators
+// and a replay engine. The paper synthesizes its workloads from
+// "combinations of high-load, low-load, random, and linear access
+// patterns, which are building blocks of real applications"
+// (Section I); this package supplies those building blocks in
+// composable form — strided streaming, Zipf-skewed hotspots, and
+// dependent pointer chasing — and replays them through the simulated
+// controller + device stack.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"hmcsim/internal/sim"
+)
+
+// Access is one memory reference of a trace.
+type Access struct {
+	Addr  uint64
+	Size  int
+	Write bool
+	// Dependent marks an access that cannot issue until the previous
+	// access's response has returned (a pointer dereference).
+	Dependent bool
+}
+
+// Generator produces a finite or unbounded access stream.
+type Generator interface {
+	// Next returns the next access; ok is false when the stream ends.
+	Next() (a Access, ok bool)
+}
+
+// StrideGen walks addresses with a fixed stride — the streaming
+// building block. Count <= 0 makes it unbounded.
+type StrideGen struct {
+	Base   uint64
+	Stride uint64
+	Size   int
+	Write  bool
+	Count  int
+
+	emitted int
+	cursor  uint64
+	started bool
+}
+
+// Next implements Generator.
+func (g *StrideGen) Next() (Access, bool) {
+	if g.Count > 0 && g.emitted >= g.Count {
+		return Access{}, false
+	}
+	if !g.started {
+		g.cursor = g.Base
+		g.started = true
+	}
+	a := Access{Addr: g.cursor, Size: g.Size, Write: g.Write}
+	g.cursor += g.Stride
+	g.emitted++
+	return a, true
+}
+
+// ZipfGen draws block indices from a Zipf distribution over N blocks
+// — the skewed-hotspot building block (e.g. graph workloads where a
+// few vertices dominate). Theta in (0,1) controls skew; 0 is uniform-
+// ish, 0.99 is highly skewed.
+type ZipfGen struct {
+	rng   *sim.RNG
+	n     uint64
+	size  int
+	base  uint64
+	count int
+	write bool
+
+	emitted int
+	// Gray's method constants.
+	alpha, zetan, eta, theta float64
+}
+
+// NewZipfGen builds a Zipf generator over n blocks of the given size
+// starting at base. count <= 0 makes it unbounded.
+func NewZipfGen(seed uint64, n uint64, theta float64, size int, base uint64, count int, write bool) (*ZipfGen, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("trace: zipf over zero blocks")
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("trace: zipf theta %v outside (0,1)", theta)
+	}
+	g := &ZipfGen{
+		rng: sim.NewRNG(seed), n: n, size: size, base: base, count: count,
+		write: write, theta: theta,
+	}
+	g.zetan = zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	g.alpha = 1.0 / (1.0 - theta)
+	g.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta2/g.zetan)
+	return g, nil
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta,
+// capping the exact sum at a million terms and extending with the
+// integral approximation beyond (error < 1e-6 for practical theta).
+func zeta(n uint64, theta float64) float64 {
+	const exact = 1 << 20
+	m := n
+	if m > exact {
+		m = exact
+	}
+	sum := 0.0
+	for i := uint64(1); i <= m; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	if n > m {
+		// Integral of x^-theta from m to n.
+		sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(m), 1-theta)) / (1 - theta)
+	}
+	return sum
+}
+
+// rank draws a Zipf rank in [1, n] (rank 1 is hottest).
+func (g *ZipfGen) rank() uint64 {
+	u := g.rng.Float64()
+	uz := u * g.zetan
+	if uz < 1 {
+		return 1
+	}
+	if uz < 1+math.Pow(0.5, g.theta) {
+		return 2
+	}
+	r := uint64(float64(g.n) * math.Pow(g.eta*u-g.eta+1, g.alpha))
+	if r < 1 {
+		r = 1
+	}
+	if r > g.n {
+		r = g.n
+	}
+	return r
+}
+
+// Next implements Generator. Ranks scatter over the address space via
+// a multiplicative hash so that hot blocks do not cluster in one vault.
+func (g *ZipfGen) Next() (Access, bool) {
+	if g.count > 0 && g.emitted >= g.count {
+		return Access{}, false
+	}
+	g.emitted++
+	r := g.rank() - 1
+	block := (r * 0x9e3779b97f4a7c15) % g.n
+	return Access{
+		Addr:  g.base + block*uint64(g.size),
+		Size:  g.size,
+		Write: g.write,
+	}, true
+}
+
+// ChaseGen emits dependent accesses — a pointer chase where each
+// dereference must complete before the next can issue. Addresses
+// follow a deterministic pseudo-random walk (as a linked list laid
+// out by a allocator would).
+type ChaseGen struct {
+	rng   *sim.RNG
+	size  int
+	count int
+	mask  uint64
+
+	emitted int
+}
+
+// NewChaseGen builds a pointer-chase of count dereferences of the
+// given node size within capMask bytes.
+func NewChaseGen(seed uint64, size, count int, capMask uint64) *ChaseGen {
+	return &ChaseGen{rng: sim.NewRNG(seed), size: size, count: count, mask: capMask}
+}
+
+// Next implements Generator.
+func (g *ChaseGen) Next() (Access, bool) {
+	if g.emitted >= g.count {
+		return Access{}, false
+	}
+	g.emitted++
+	addr := (g.rng.Uint64() & g.mask) &^ 15
+	return Access{Addr: addr, Size: g.size, Dependent: true}, true
+}
+
+// Concat chains generators sequentially.
+type Concat struct {
+	Gens []Generator
+	i    int
+}
+
+// Next implements Generator.
+func (c *Concat) Next() (Access, bool) {
+	for c.i < len(c.Gens) {
+		if a, ok := c.Gens[c.i].Next(); ok {
+			return a, true
+		}
+		c.i++
+	}
+	return Access{}, false
+}
+
+// Interleave round-robins between generators until all are exhausted
+// (two kernels sharing the memory system).
+type Interleave struct {
+	Gens []Generator
+	done []bool
+	i    int
+}
+
+// Next implements Generator.
+func (iv *Interleave) Next() (Access, bool) {
+	if iv.done == nil {
+		iv.done = make([]bool, len(iv.Gens))
+	}
+	for tried := 0; tried < len(iv.Gens); tried++ {
+		k := iv.i % len(iv.Gens)
+		iv.i++
+		if iv.done[k] {
+			continue
+		}
+		if a, ok := iv.Gens[k].Next(); ok {
+			return a, true
+		}
+		iv.done[k] = true
+	}
+	return Access{}, false
+}

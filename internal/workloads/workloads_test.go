@@ -1,0 +1,128 @@
+package workloads
+
+import (
+	"testing"
+
+	"hmcsim/internal/hmc"
+)
+
+func amap(t *testing.T) *hmc.AddressMap {
+	t.Helper()
+	m, err := hmc.NewAddressMap(hmc.Geometries(hmc.HMC11), hmc.Block128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestStandardPatternCoverage: every named pattern reaches exactly
+// the vault/bank set its name promises.
+func TestStandardPatternCoverage(t *testing.T) {
+	m := amap(t)
+	for _, p := range Standard() {
+		v, b := Coverage(m, p.ZeroMask)
+		if v != p.Vaults || b != p.Banks {
+			t.Errorf("%s: coverage %d vaults x %d banks, want %dx%d",
+				p.Name, v, b, p.Vaults, p.Banks)
+		}
+	}
+}
+
+func TestStandardOrder(t *testing.T) {
+	ps := Standard()
+	if len(ps) != 9 {
+		t.Fatalf("%d patterns, want 9", len(ps))
+	}
+	if ps[0].Name != "16 vaults" || ps[8].Name != "1 bank" {
+		t.Fatalf("pattern order wrong: %v ... %v", ps[0], ps[8])
+	}
+	// Total bank coverage strictly decreases along the axis.
+	for i := 1; i < len(ps); i++ {
+		if ps[i].TotalBanks() >= ps[i-1].TotalBanks() {
+			t.Fatalf("coverage not decreasing at %s", ps[i].Name)
+		}
+	}
+}
+
+// TestVaultPatternsSpanQuadrants: multi-vault patterns spread across
+// quadrants for link-level parallelism, like the paper's masks.
+func TestVaultPatternsSpanQuadrants(t *testing.T) {
+	m := amap(t)
+	g := m.Geometry()
+	quadrantsTouched := func(zero uint64) int {
+		seen := map[int]bool{}
+		for a := uint64(0); a < 1<<16; a += 16 {
+			seen[m.Decode(hmc.ApplyMask(a, zero, 0)).Quadrant] = true
+		}
+		return len(seen)
+	}
+	if q := quadrantsTouched(VaultPattern(2).ZeroMask); q != 2 {
+		t.Errorf("2 vaults touch %d quadrants, want 2", q)
+	}
+	if q := quadrantsTouched(VaultPattern(4).ZeroMask); q != g.Quadrants {
+		t.Errorf("4 vaults touch %d quadrants, want %d", q, g.Quadrants)
+	}
+	if q := quadrantsTouched(VaultPattern(8).ZeroMask); q != g.Quadrants {
+		t.Errorf("8 vaults touch %d quadrants, want %d", q, g.Quadrants)
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("4 banks")
+	if err != nil || p.Banks != 4 || p.Vaults != 1 {
+		t.Fatalf("ByName(4 banks) = %+v, %v", p, err)
+	}
+	if _, err := ByName("3 banks"); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}
+
+func TestFigure6Masks(t *testing.T) {
+	m := amap(t)
+	masks := Figure6Masks()
+	if len(masks) != 7 {
+		t.Fatalf("%d mask positions, want 7", len(masks))
+	}
+	// The paper's annotations: 7-14 -> 1 bank; 3-10 -> 1 vault;
+	// 2-9 -> 2 vaults; 0-7 -> 8 vaults.
+	expect := map[string][2]int{
+		"24-31": {16, 16},
+		"7-14":  {1, 1},
+		"3-10":  {1, 16},
+		"2-9":   {2, 16},
+		"1-8":   {4, 16},
+		"0-7":   {8, 16},
+	}
+	for _, mp := range masks {
+		want, ok := expect[mp.Label]
+		if !ok {
+			continue
+		}
+		v, b := Coverage(m, mp.ZeroMask)
+		if v != want[0] || b != want[1] {
+			t.Errorf("mask %s: %d vaults x %d banks, want %dx%d", mp.Label, v, b, want[0], want[1])
+		}
+	}
+}
+
+func TestPatternPanicsOnUnsupported(t *testing.T) {
+	for _, f := range []func(){
+		func() { VaultPattern(3) },
+		func() { BankPattern(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("unsupported count did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if VaultPattern(1).String() != "1 vault" || BankPattern(1).String() != "1 bank" {
+		t.Fatal("singular names wrong")
+	}
+}
