@@ -7,7 +7,10 @@ package hmcsim_test
 //	go test -bench=. -benchmem
 //
 // doubles as a compact reproduction run. Benchmarks use the Quick
-// fidelity profile; cmd/figures regenerates at full fidelity.
+// fidelity profile and fan their cells out through internal/runner's
+// worker pool exactly as cmd/figures does; cmd/figures regenerates at
+// full fidelity. Kernel-level microbenchmarks (allocation behavior of
+// the two scheduling APIs) live in internal/sim.
 
 import (
 	"testing"
@@ -220,7 +223,8 @@ func BenchmarkFigure18(b *testing.B) {
 	b.ReportMetric(v2, "GBps_2vaults_sat")
 }
 
-// Ablation/extension benchmarks (DESIGN.md "extension experiments").
+// Ablation/extension benchmarks (EXPERIMENTS.md "extension
+// experiments").
 
 func BenchmarkExtReadRatio(b *testing.B) {
 	var best float64

@@ -1,23 +1,29 @@
 // Command figures regenerates every table and figure of the paper's
-// evaluation on the simulated stack, writing aligned-text and CSV
-// outputs to a results directory.
+// evaluation on the simulated stack, writing aligned-text, CSV and
+// JSON outputs to a results directory.
 //
 // Usage:
 //
-//	figures [-out results] [-id figure7] [-quick] [-measure-us 800] [-workers N]
+//	figures [-out results] [-id figure7] [-quick] [-measure-us 800]
+//	        [-workers N] [-progress]
 //
 // Without -id it runs the full registry (Table I-III, Figure 3,
-// Figures 6-18).
+// Figures 6-18). Ctrl-C cancels the in-flight sweep cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"hmcsim/internal/experiments"
+	"hmcsim/internal/runner"
 	"hmcsim/internal/sim"
 )
 
@@ -31,6 +37,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
 	ext := flag.Bool("ext", false, "include the extension experiments (ablations, projections)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	progress := flag.Bool("progress", false, "print per-cell sweep progress")
 	flag.Parse()
 
 	registry := experiments.All
@@ -45,6 +52,11 @@ func main() {
 		return
 	}
 
+	// Ctrl-C cancels the worker pool; in-flight cells finish, queued
+	// cells never start.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opts := experiments.Default()
 	if *quick {
 		opts = experiments.Quick()
@@ -57,6 +69,15 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Workers = *workers
+	opts.Context = ctx
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r  cell %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 
 	todo := registry()
 	if *id != "" {
@@ -78,24 +99,35 @@ func main() {
 		os.Exit(1)
 	}
 
+	sinks := runner.Sinks()
 	for _, e := range todo {
 		start := time.Now()
 		rep, err := e.Run(opts)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "figures: interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		txt := filepath.Join(*out, e.ID+".txt")
-		csv := filepath.Join(*out, e.ID+".csv")
-		if err := os.WriteFile(txt, []byte(rep.Table()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		var paths []string
+		for _, s := range sinks {
+			path := filepath.Join(*out, e.ID+"."+s.Ext())
+			f, err := os.Create(path)
+			if err == nil {
+				err = s.Write(f, rep)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			paths = append(paths, path)
 		}
-		if err := os.WriteFile(csv, []byte(rep.CSV()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("%-10s %-55s %8s -> %s, %s\n",
-			e.ID, e.Title, time.Since(start).Round(time.Millisecond), txt, csv)
+		fmt.Printf("%-10s %-55s %8s -> %s\n",
+			e.ID, e.Title, time.Since(start).Round(time.Millisecond), strings.Join(paths, ", "))
 	}
 }

@@ -1,7 +1,7 @@
 // Command gups is the raw traffic-generator tool: the software face
 // of the paper's GUPS firmware. It exposes the mask/anti-mask
-// registers directly (hex), supports full-scale, small-scale and
-// stream modes, and can verify data integrity end to end.
+// registers directly (hex), supports full-scale, small-scale, stream
+// and sweep modes, and can verify data integrity end to end.
 //
 // Examples:
 //
@@ -9,15 +9,18 @@
 //	gups -type ro -zeromask 0x7f80                 # bank 0 of vault 0
 //	gups -stream 28 -size 128                      # low-load latency burst
 //	gups -stream 24 -size 64 -verify               # data-integrity check
+//	gups -sweep -format json                       # all sizes, in parallel
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 
 	"hmcsim/internal/gups"
+	"hmcsim/internal/runner"
 	"hmcsim/internal/sim"
 )
 
@@ -48,6 +51,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	stream := flag.Int("stream", 0, "stream GUPS: burst of N reads (0 = full/small-scale)")
 	verify := flag.Bool("verify", false, "stream mode: verify data integrity of writes+reads")
+	sweep := flag.Bool("sweep", false, "run every request size concurrently and tabulate")
+	workers := flag.Int("workers", 0, "sweep mode: concurrent simulations (0 = NumCPU)")
+	format := flag.String("format", "text", "sweep mode output: text, csv or json")
 	flag.Parse()
 
 	if *stream > 0 {
@@ -89,7 +95,7 @@ func main() {
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
 
-	res, err := gups.Run(gups.Config{
+	base := gups.Config{
 		Type:     ty,
 		Size:     *size,
 		Mode:     md,
@@ -98,9 +104,51 @@ func main() {
 		Ports:    *ports,
 		Measure:  sim.Duration(*measureUs) * sim.Microsecond,
 		Seed:     *seed,
-	})
+	}
+
+	if *sweep {
+		runSweep(base, *workers, *format)
+		return
+	}
+
+	res, err := gups.Run(base)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Println(res)
+}
+
+// runSweep fans one cell per request size out through the shared
+// worker pool and renders the results with the runner's sinks.
+func runSweep(base gups.Config, workers int, format string) {
+	sink, err := runner.SinkFor(format)
+	if err != nil {
+		fail(err)
+	}
+	sizes := []int{16, 32, 48, 64, 80, 96, 112, 128}
+	cells, err := runner.Map(context.Background(), runner.Config{Workers: workers}, len(sizes),
+		func(_ context.Context, i int) (gups.Result, error) {
+			cfg := base
+			cfg.Size = sizes[i]
+			// Each cell draws from its own decorrelated stream; the
+			// sweep stays reproducible from the one user-facing seed.
+			cfg.Seed = runner.CellSeed(base.Seed, i)
+			return gups.Run(cfg)
+		})
+	if err != nil {
+		fail(err)
+	}
+	g := runner.Grid{
+		Title: fmt.Sprintf("%v bandwidth/latency vs request size", base.Type),
+		Cols:  []string{"Size (B)", "Raw GB/s", "Data GB/s", "MRPS", "Read lat avg (ns)"},
+	}
+	for i, r := range cells {
+		g.AddRow(fmt.Sprint(sizes[i]), fmt.Sprintf("%.2f", r.RawGBps),
+			fmt.Sprintf("%.2f", r.DataGBps), fmt.Sprintf("%.1f", r.MRPS),
+			fmt.Sprintf("%.0f", r.ReadLatencyNs.Mean()))
+	}
+	rep := runner.Report{ID: "sweep", Title: "Request-size sweep", Grids: []runner.Grid{g}}
+	if err := sink.Write(os.Stdout, rep); err != nil {
+		fail(err)
+	}
 }

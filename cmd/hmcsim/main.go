@@ -20,9 +20,49 @@ import (
 	"hmcsim/internal/core"
 	"hmcsim/internal/experiments"
 	"hmcsim/internal/gups"
+	"hmcsim/internal/runner"
 	"hmcsim/internal/sim"
 	"hmcsim/internal/workloads"
 )
+
+// report renders a measurement as the runner's structured report, so
+// hmcsim shares output plumbing (text/CSV/JSON) with cmd/figures.
+func report(m core.Measurement, typ, mode, patName string) runner.Report {
+	f1 := func(v float64) string { return fmt.Sprintf("%.1f", v) }
+	f2 := func(v float64) string { return fmt.Sprintf("%.2f", v) }
+	perf := runner.Grid{
+		Title: "Measured performance",
+		Cols:  []string{"Metric", "Value"},
+	}
+	perf.AddRow("raw GB/s", f2(m.Perf.RawGBps))
+	perf.AddRow("data GB/s", f2(m.Perf.DataGBps))
+	perf.AddRow("MRPS", f1(m.Perf.MRPS))
+	perf.AddRow("read MRPS", f1(m.Perf.ReadMRPS))
+	perf.AddRow("write MRPS", f1(m.Perf.WriteMRPS))
+	if lat := m.ReadLatency(); lat.N() > 0 {
+		perf.AddRow("read lat avg ns", fmt.Sprintf("%.0f", lat.Mean()))
+		perf.AddRow("read lat min ns", fmt.Sprintf("%.0f", lat.Min()))
+		perf.AddRow("read lat max ns", fmt.Sprintf("%.0f", lat.Max()))
+	}
+	th := runner.Grid{
+		Title: "Thermal/power assessment (steady state, 200 s)",
+		Cols:  []string{"cfg", "surface degC", "junction", "machine W", "cooling W", "status"},
+	}
+	for _, tp := range m.Thermal {
+		status := "ok"
+		if tp.ThermallyFailed {
+			status = "THERMAL FAILURE"
+		}
+		th.AddRow(tp.Config.Name, f1(tp.SurfaceC), f1(tp.JunctionC),
+			f1(tp.MachineW), f2(tp.CoolingW), status)
+	}
+	return runner.Report{
+		ID:    "measure",
+		Title: fmt.Sprintf("%s %dB %s, %d ports, pattern %q", typ, m.Workload.Size, mode, m.Workload.Ports, patName),
+		Grids: []runner.Grid{perf, th},
+		Notes: []string{fmt.Sprintf("safe cooling configs: %v", m.SafeConfigs())},
+	}
+}
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "hmcsim:", err)
@@ -38,6 +78,7 @@ func main() {
 	measureUs := flag.Int("measure-us", 800, "measurement window, simulated microseconds")
 	warmupUs := flag.Int("warmup-us", 150, "warmup window, simulated microseconds")
 	seed := flag.Uint64("seed", 1, "random seed")
+	format := flag.String("format", "", "structured output: text, csv or json (default: classic summary)")
 	insights := flag.Bool("insights", false, "print the paper's design insights and exit")
 	flag.Parse()
 
@@ -82,9 +123,25 @@ func main() {
 	opts.Warmup = sim.Duration(*warmupUs) * sim.Microsecond
 	opts.Seed = *seed
 
+	// Resolve the output sink before spending time simulating.
+	var sink runner.Sink
+	if *format != "" {
+		var err error
+		if sink, err = runner.SinkFor(*format); err != nil {
+			fail(err)
+		}
+	}
+
 	m, err := core.New(opts).Measure(w)
 	if err != nil {
 		fail(err)
+	}
+
+	if sink != nil {
+		if err := sink.Write(os.Stdout, report(m, *typ, *mode, *patName)); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	fmt.Printf("workload:   %s %dB %s, %d ports, pattern %q\n",

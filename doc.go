@@ -12,6 +12,12 @@
 //
 // Layout:
 //
+//   - internal/sim: the discrete-event kernel — engine with a typed
+//     Handler fast path (zero allocations per scheduled event),
+//     servers, queues, pooled completion delivery, RNG
+//   - internal/runner: the experiment-execution layer — a
+//     context-cancellable worker pool, deterministic per-cell
+//     seeding, progress callbacks, and text/CSV/JSON result sinks
 //   - internal/core: public facade — Characterizer, Measure, the
 //     experiment registry and the paper's design insights
 //   - internal/hmc: the device model (geometry, packet protocol,
@@ -28,6 +34,7 @@
 //     pimthermal, addrmap)
 //
 // The benchmarks in bench_test.go regenerate each table and figure
-// under `go test -bench`. See DESIGN.md for the substitution
-// statement and EXPERIMENTS.md for paper-vs-measured results.
+// under `go test -bench`. See README.md for build/run instructions
+// and the kernel/runner architecture, and EXPERIMENTS.md for the
+// experiment registry.
 package hmcsim

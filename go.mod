@@ -1,0 +1,3 @@
+module hmcsim
+
+go 1.24

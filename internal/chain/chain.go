@@ -70,7 +70,78 @@ type Network struct {
 	hops   []hopLink
 	failed []bool
 
+	freeFlights *flight
+
 	accesses uint64
+}
+
+// flight carries one access across the network: it is its own engine
+// event (entering the target cube, then delivering the response) and
+// the device-completion adapter, pooled on the network so the access
+// path allocates nothing in steady state.
+type flight struct {
+	nw      *Network
+	res     Result
+	req     hmc.Request
+	respSer sim.Duration
+	dir     int
+	atCube  bool // false: next firing enters the cube; true: deliver
+	done    func(Result)
+	devDone func(hmc.AccessResult)
+	next    *flight
+}
+
+// hopAt maps walk step k to a hop index: forward walks leave the host
+// ascending, backward (ring) walks descend from the closing hop.
+func (f *flight) hopAt(k int) int {
+	if f.dir >= 0 {
+		return k
+	}
+	return len(f.nw.hops) - 1 - k
+}
+
+// Fire advances the flight: first to the cube's vault pipeline, then
+// delivering the response to the caller.
+func (f *flight) Fire(e *sim.Engine) {
+	if !f.atCube {
+		f.atCube = true
+		f.nw.cubes[f.res.Cube].SubmitLocal(e.Now(), f.req, f.devDone)
+		return
+	}
+	done, res := f.done, f.res
+	f.nw.releaseFlight(f)
+	done(res)
+}
+
+func (n *Network) newFlight() *flight {
+	f := n.freeFlights
+	if f == nil {
+		f = &flight{nw: n}
+		f.devDone = func(ar hmc.AccessResult) {
+			// Return path: egress, then the hops in reverse.
+			rt := ar.Deliver + n.p.Device.EgressLatency
+			for k := f.res.Hops - 1; k >= 0; k-- {
+				_, end := n.hops[f.hopAt(k)].rx.ReserveAt(n.eng.Now(), rt, f.respSer)
+				rt = end + n.p.Device.LinkWireLatency
+				if k > 0 {
+					rt += n.p.PassThrough
+				}
+			}
+			f.res.Err = ar.Err
+			f.res.Deliver = rt
+			n.eng.AtHandler(rt, f)
+		}
+	} else {
+		n.freeFlights = f.next
+	}
+	return f
+}
+
+func (n *Network) releaseFlight(f *flight) {
+	f.done = nil
+	f.atCube = false
+	f.next = n.freeFlights
+	n.freeFlights = f
 }
 
 // NewNetwork builds an n-cube network (1 <= n <= 8, the CUB field's
@@ -173,45 +244,41 @@ func (r Result) Latency() sim.Duration { return r.Deliver - r.Submit }
 // fires when the response returns to the host.
 func (n *Network) Access(now sim.Time, addr uint64, size int, write bool, done func(Result)) {
 	cube, local := n.Decode(addr)
-	res := Result{Cube: cube, Submit: now}
+	f := n.newFlight()
+	f.res = Result{Cube: cube, Submit: now}
+	f.done = done
 	if n.failed[cube] {
-		res.Err = true
-		res.Deliver = now + n.p.PassThrough
-		n.eng.At(res.Deliver, func() { done(res) })
+		f.res.Err = true
+		f.res.Deliver = now + n.p.PassThrough
+		f.atCube = true // deliver the error directly
+		n.eng.AtHandler(f.res.Deliver, f)
 		return
 	}
 	hopsCount, dir, err := n.route(cube)
 	if err != nil {
-		res.Err = true
-		res.Deliver = now + n.p.PassThrough
-		n.eng.At(res.Deliver, func() { done(res) })
+		f.res.Err = true
+		f.res.Deliver = now + n.p.PassThrough
+		f.atCube = true
+		n.eng.AtHandler(f.res.Deliver, f)
 		return
 	}
-	res.Hops = hopsCount
+	f.res.Hops = hopsCount
+	f.dir = dir
 	n.accesses++
 
-	req := hmc.Request{Addr: local, Size: size, Write: write}
-	reqSer := n.p.Device.SerializationTime(req.WireBytesRequest())
-	respSer := n.p.Device.SerializationTime(req.WireBytesResponse())
+	f.req = hmc.Request{Addr: local, Size: size, Write: write}
+	reqSer := n.p.Device.SerializationTime(f.req.WireBytesRequest())
+	f.respSer = n.p.Device.SerializationTime(f.req.WireBytesResponse())
 
 	// Walk the outbound hops, reserving each link's TX side; all but
-	// the last hop also pay the pass-through routing cost.
+	// the last hop also pay the pass-through routing cost. Forward
+	// walks use hops 0,1,...; backward (ring) walks use the host-side
+	// closing hop first: hops[n], n-1, ... (see hopAt).
 	t := now
-	hopIdx := make([]int, 0, hopsCount)
-	if dir > 0 {
-		for h := 0; h < hopsCount; h++ {
-			hopIdx = append(hopIdx, h)
-		}
-	} else {
-		// Backward: host-side ring hop is hops[n], then n-1, ...
-		for h := len(n.hops) - 1; h >= cube+1; h-- {
-			hopIdx = append(hopIdx, h)
-		}
-	}
-	for k, h := range hopIdx {
-		_, end := n.hops[h].tx.ReserveAt(now, t, reqSer)
+	for k := 0; k < hopsCount; k++ {
+		_, end := n.hops[f.hopAt(k)].tx.ReserveAt(now, t, reqSer)
 		t = end + n.p.Device.LinkWireLatency
-		if k < len(hopIdx)-1 {
+		if k < hopsCount-1 {
 			t += n.p.PassThrough
 		}
 	}
@@ -220,23 +287,7 @@ func (n *Network) Access(now sim.Time, addr uint64, size int, write bool, done f
 	// device's own Submit for the in-cube path but without re-paying
 	// link serialization (already accounted): use SubmitLocal plus
 	// the cube's ingress/egress budget.
-	entry := t + n.p.Device.IngressLatency
-	n.eng.At(entry, func() {
-		n.cubes[cube].SubmitLocal(n.eng.Now(), req, func(ar hmc.AccessResult) {
-			// Return path: egress, then the hops in reverse.
-			rt := ar.Deliver + n.p.Device.EgressLatency
-			for k := len(hopIdx) - 1; k >= 0; k-- {
-				_, end := n.hops[hopIdx[k]].rx.ReserveAt(n.eng.Now(), rt, respSer)
-				rt = end + n.p.Device.LinkWireLatency
-				if k > 0 {
-					rt += n.p.PassThrough
-				}
-			}
-			res.Err = ar.Err
-			res.Deliver = rt
-			n.eng.At(rt, func() { done(res) })
-		})
-	})
+	n.eng.AtHandler(t+n.p.Device.IngressLatency, f)
 }
 
 // LoadResult aggregates a network load run.
@@ -260,25 +311,28 @@ func RunUniformLoad(n *Network, window int, size int, duration sim.Duration, see
 	perCube := make([]stats.Summary, n.Cubes())
 	inFlight := 0
 	var dataBytes uint64
+	// Both loop closures are built once; Result carries the submit
+	// time, so the completion callback captures no per-access state.
 	var pump func()
+	var onDone func(Result)
+	onDone = func(r Result) {
+		inFlight--
+		if r.Err {
+			res.Errors++
+		} else {
+			res.Accesses++
+			dataBytes += uint64(size)
+			lat := r.Latency().Nanoseconds()
+			res.LatencyNs.Add(lat)
+			perCube[r.Cube].Add(lat)
+		}
+		pump()
+	}
 	pump = func() {
 		for inFlight < window && n.eng.Now() < duration {
 			addr := rng.Uint64() % n.CapacityBytes() &^ 127
 			inFlight++
-			submitted := n.eng.Now()
-			n.Access(submitted, addr, size, false, func(r Result) {
-				inFlight--
-				if r.Err {
-					res.Errors++
-				} else {
-					res.Accesses++
-					dataBytes += uint64(size)
-					lat := (r.Deliver - submitted).Nanoseconds()
-					res.LatencyNs.Add(lat)
-					perCube[r.Cube].Add(lat)
-				}
-				pump()
-			})
+			n.Access(n.eng.Now(), addr, size, false, onDone)
 		}
 	}
 	n.eng.Schedule(0, pump)

@@ -120,6 +120,10 @@ type Channel struct {
 	bus   sim.Server // shared data bus
 	cmd   sim.Server // command/address bus
 
+	// deliver schedules completion callbacks through a pooled event
+	// (no per-access closure).
+	deliver sim.Deliverer[Result]
+
 	lastWasWrite bool
 
 	// Stats.
@@ -137,7 +141,8 @@ func NewChannel(eng *sim.Engine, cfg Config) (*Channel, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("ddr: nil engine")
 	}
-	return &Channel{eng: eng, cfg: cfg, banks: make([]ddrBank, cfg.Banks)}, nil
+	return &Channel{eng: eng, cfg: cfg, banks: make([]ddrBank, cfg.Banks),
+		deliver: sim.NewDeliverer[Result](eng)}, nil
 }
 
 // MustChannel is NewChannel that panics on error.
@@ -237,7 +242,7 @@ func (ch *Channel) Access(now sim.Time, addr uint64, size int, write bool, done 
 	_, busEnd := ch.bus.ReserveAt(now, dataReady, busTime)
 
 	res.Deliver = busEnd + ch.cfg.BackEndLatency
-	ch.eng.At(res.Deliver, func() { done(res) })
+	ch.deliver.Deliver(res.Deliver, res, done)
 }
 
 // Stats reports access counts and hit rates.

@@ -78,22 +78,25 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 	var res LoadResult
 	measuring := false
 	inFlight := 0
+	// pump and onDone are each built once and reused for every access:
+	// Result carries the submit time, so completions capture nothing.
 	var pump func()
+	var onDone func(Result)
+	onDone = func(r Result) {
+		inFlight--
+		if measuring {
+			res.Accesses++
+			res.LatencyNs.Add(r.Latency().Nanoseconds())
+		}
+		pump()
+	}
 	pump = func() {
 		for inFlight < cfg.Window {
 			if eng.Now() >= horizon {
 				return
 			}
 			inFlight++
-			submitted := eng.Now()
-			ch.Access(submitted, next(), cfg.Size, cfg.Write, func(r Result) {
-				inFlight--
-				if measuring {
-					res.Accesses++
-					res.LatencyNs.Add(r.Latency().Nanoseconds())
-				}
-				pump()
-			})
+			ch.Access(eng.Now(), next(), cfg.Size, cfg.Write, onDone)
 		}
 	}
 	eng.Schedule(0, pump)

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+
+	"hmcsim/internal/sim"
+)
+
+// fastOpts keeps the determinism runs cheap: the property under test
+// is workers-independence, not measurement fidelity.
+func fastOpts(workers int) Options {
+	return Options{
+		Warmup:  10 * sim.Microsecond,
+		Measure: 30 * sim.Microsecond,
+		Seed:    7,
+		Workers: workers,
+	}
+}
+
+// Identical seeds must yield byte-identical experiment output
+// regardless of worker count: results are keyed by cell index and all
+// randomness derives from (seed, cell), never from scheduling order.
+func TestWorkerCountDoesNotChangeOutput(t *testing.T) {
+	cases := []struct {
+		id  string
+		run func(Options) (Report, error)
+	}{
+		{"figure7", runReport(Figure7)},
+		{"figure8", runReport(Figure8)},
+	}
+	for _, c := range cases {
+		t.Run(c.id, func(t *testing.T) {
+			serial, err := c.run(fastOpts(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := c.run(fastOpts(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Table() != parallel.Table() {
+				t.Errorf("%s: aligned-text output differs between Workers=1 and Workers=8", c.id)
+			}
+			if serial.CSV() != parallel.CSV() {
+				t.Errorf("%s: CSV output differs between Workers=1 and Workers=8", c.id)
+			}
+			js, err := serial.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			jp, err := parallel.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if js != jp {
+				t.Errorf("%s: JSON output differs between Workers=1 and Workers=8", c.id)
+			}
+		})
+	}
+}
+
+// Different seeds must actually change the measurement (guards against
+// a seed that is silently ignored, which would make the determinism
+// test above vacuous).
+func TestSeedChangesOutput(t *testing.T) {
+	a := fastOpts(0)
+	b := fastOpts(0)
+	b.Seed = a.Seed + 1
+	ra, err := runReport(Figure7)(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := runReport(Figure7)(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.CSV() == rb.CSV() {
+		t.Error("figure7 output identical across different seeds")
+	}
+}

@@ -3,16 +3,18 @@
 // builds its workloads from the gups/workloads packages, runs them on
 // the simulated AC-510 stack, post-processes with the thermal/power
 // models where applicable, and renders the same rows/series the paper
-// reports. EXPERIMENTS.md records paper-vs-measured for each.
+// reports. EXPERIMENTS.md records the registry and how to drive it.
+//
+// Concurrency, cancellation and rendering live in internal/runner:
+// every sweep fans its cells out through runner.Map, and every report
+// is a runner.Report (aligned text, CSV and JSON sinks).
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"strings"
-	"sync"
-	"text/tabwriter"
 
+	"hmcsim/internal/runner"
 	"hmcsim/internal/sim"
 )
 
@@ -27,6 +29,11 @@ type Options struct {
 	Seed uint64
 	// Workers bounds concurrent independent simulations (0 = NumCPU).
 	Workers int
+	// Context cancels in-flight sweeps when done (nil = background).
+	Context context.Context
+	// Progress, when non-nil, is called after each simulation cell of
+	// a sweep completes (serialized; may run on any worker).
+	Progress func(done, total int)
 }
 
 // Default returns publication-fidelity options.
@@ -39,131 +46,31 @@ func Quick() Options {
 	return Options{Warmup: 30 * sim.Microsecond, Measure: 100 * sim.Microsecond, Seed: 1}
 }
 
-func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
+func (o Options) context() context.Context {
+	if o.Context != nil {
+		return o.Context
 	}
-	return runtime.NumCPU()
+	return context.Background()
 }
 
-// parallelMap evaluates f(0..n-1) across the worker pool, preserving
-// index order in the returned slice. f must be safe to run
+// parallelMap evaluates f(0..n-1) across the runner's worker pool,
+// preserving index order in the returned slice. f must be safe to run
 // concurrently with other indices (each cell owns its own engine).
-func parallelMap[T any](o Options, n int, f func(i int) T) []T {
-	out := make([]T, n)
-	w := o.workers()
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			out[i] = f(i)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for k := 0; k < w; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return out
+// The only error source is cancellation of Options.Context.
+func parallelMap[T any](o Options, n int, f func(i int) T) ([]T, error) {
+	cfg := runner.Config{Workers: o.Workers, Progress: o.Progress}
+	return runner.Map(o.context(), cfg, n, func(_ context.Context, i int) (T, error) {
+		return f(i), nil
+	})
 }
 
-// Grid is a rendered table: the universal output shape of every
-// experiment (text for humans, CSV for plotting).
-type Grid struct {
-	Title string
-	Cols  []string
-	Rows  [][]string
-}
-
-// AddRow appends a formatted row.
-func (g *Grid) AddRow(cells ...string) { g.Rows = append(g.Rows, cells) }
-
-// Table renders aligned text.
-func (g *Grid) Table() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "== %s ==\n", g.Title)
-	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, strings.Join(g.Cols, "\t"))
-	for _, r := range g.Rows {
-		fmt.Fprintln(tw, strings.Join(r, "\t"))
-	}
-	tw.Flush()
-	return b.String()
-}
-
-// CSV renders comma-separated values with a header row. Cells
-// containing commas or quotes are quoted.
-func (g *Grid) CSV() string {
-	var b strings.Builder
-	esc := func(s string) string {
-		if strings.ContainsAny(s, ",\"\n") {
-			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
-		}
-		return s
-	}
-	row := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			b.WriteString(esc(c))
-		}
-		b.WriteByte('\n')
-	}
-	row(g.Cols)
-	for _, r := range g.Rows {
-		row(r)
-	}
-	return b.String()
-}
-
-// Report is an experiment's full output: one or more grids.
-type Report struct {
-	ID    string // e.g. "table1", "figure6"
-	Title string
-	Grids []Grid
-	Notes []string
-}
-
-// Table renders the whole report as aligned text.
-func (r Report) Table() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "### %s: %s\n\n", strings.ToUpper(r.ID), r.Title)
-	for _, g := range r.Grids {
-		b.WriteString(g.Table())
-		b.WriteByte('\n')
-	}
-	for _, n := range r.Notes {
-		fmt.Fprintf(&b, "note: %s\n", n)
-	}
-	return b.String()
-}
-
-// CSV renders every grid, separated by blank lines.
-func (r Report) CSV() string {
-	var b strings.Builder
-	for i, g := range r.Grids {
-		if i > 0 {
-			b.WriteByte('\n')
-		}
-		fmt.Fprintf(&b, "# %s\n", g.Title)
-		b.WriteString(g.CSV())
-	}
-	return b.String()
-}
+// Grid and Report are the runner's structured result shapes; the
+// aliases keep every experiment and consumer in this package's
+// namespace while the sinks (text/CSV/JSON) live with the pool.
+type (
+	Grid   = runner.Grid
+	Report = runner.Report
+)
 
 // Experiment couples an ID to its runner for the cmd/figures driver.
 type Experiment struct {

@@ -67,7 +67,10 @@ func TestGridCSVEscaping(t *testing.T) {
 func TestParallelMapOrder(t *testing.T) {
 	o := Quick()
 	o.Workers = 4
-	got := parallelMap(o, 100, func(i int) int { return i * i })
+	got, err := parallelMap(o, 100, func(i int) int { return i * i })
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, v := range got {
 		if v != i*i {
 			t.Fatalf("index %d got %d", i, v)
@@ -75,11 +78,11 @@ func TestParallelMapOrder(t *testing.T) {
 	}
 	// Serial path.
 	o.Workers = 1
-	got = parallelMap(o, 5, func(i int) int { return i })
-	if len(got) != 5 || got[4] != 4 {
+	got, err = parallelMap(o, 5, func(i int) int { return i })
+	if err != nil || len(got) != 5 || got[4] != 4 {
 		t.Fatal("serial parallelMap broken")
 	}
-	if out := parallelMap(o, 0, func(i int) int { return i }); len(out) != 0 {
+	if out, err := parallelMap(o, 0, func(i int) int { return i }); err != nil || len(out) != 0 {
 		t.Fatal("empty map broken")
 	}
 }

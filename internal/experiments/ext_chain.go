@@ -35,7 +35,7 @@ func ExtChain(o Options) (*ExtChainData, error) {
 		bw      float64
 		perCube []float64
 	}
-	res := parallelMap(o, len(d.CubeCounts), func(i int) out {
+	res, err := parallelMap(o, len(d.CubeCounts), func(i int) out {
 		eng := sim.NewEngine()
 		nw, err := chain.NewNetwork(eng, d.CubeCounts[i], chain.Chain, chain.DefaultParams())
 		if err != nil {
@@ -48,6 +48,9 @@ func ExtChain(o Options) (*ExtChainData, error) {
 			perCube: load.PerCubeLatencyNs,
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, r := range res {
 		d.CapacityGB = append(d.CapacityGB, r.cap)
 		d.DataGBps = append(d.DataGBps, r.bw)

@@ -47,7 +47,7 @@ func ExtReadRatio(o Options) (*ExtReadRatioData, error) {
 	for r := 0.0; r <= 1.001; r += 0.1 {
 		d.Ratios = append(d.Ratios, r)
 	}
-	bws := parallelMap(o, len(d.Ratios), func(i int) float64 {
+	bws, err := parallelMap(o, len(d.Ratios), func(i int) float64 {
 		res := gups.MustRun(gups.Config{
 			Type:         gups.Mixed,
 			ReadFraction: d.Ratios[i],
@@ -58,6 +58,9 @@ func ExtReadRatio(o Options) (*ExtReadRatioData, error) {
 		})
 		return res.RawGBps
 	})
+	if err != nil {
+		return nil, err
+	}
 	d.RawGBps = bws
 	best := 0
 	for i, bw := range bws {
@@ -169,7 +172,7 @@ type ExtLinkRateData struct {
 func ExtLinkRate(o Options) (*ExtLinkRateData, error) {
 	d := &ExtLinkRateData{RatesGbps: []float64{10, 12.5, 15}}
 	type out struct{ bw, lat float64 }
-	res := parallelMap(o, len(d.RatesGbps), func(i int) out {
+	res, err := parallelMap(o, len(d.RatesGbps), func(i int) out {
 		p := hmc.DefaultParams()
 		p.Links.LaneGbps = d.RatesGbps[i]
 		r := gups.MustRun(gups.Config{
@@ -182,6 +185,9 @@ func ExtLinkRate(o Options) (*ExtLinkRateData, error) {
 		})
 		return out{bw: r.RawGBps, lat: r.ReadLatencyNs.Mean()}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, r := range res {
 		d.RawGBps = append(d.RawGBps, r.bw)
 		d.LatencyNs = append(d.LatencyNs, r.lat)
@@ -221,7 +227,7 @@ func ExtHMC20(o Options) (*ExtHMC20Data, error) {
 	}
 	gens := []hmc.Generation{hmc.HMC11, hmc.HMC20}
 	n := len(gens) * len(allTypes)
-	cells := parallelMap(o, n, func(i int) cell {
+	cells, err := parallelMap(o, n, func(i int) cell {
 		gen := gens[i/len(allTypes)]
 		ty := allTypes[i%len(allTypes)]
 		cfg := gups.Config{
@@ -246,6 +252,9 @@ func ExtHMC20(o Options) (*ExtHMC20Data, error) {
 		}
 		return cell{gen: gen, ty: ty, bw: gups.MustRun(cfg).RawGBps}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, c := range cells {
 		if c.gen == hmc.HMC11 {
 			d.HMC11[c.ty.String()] = c.bw

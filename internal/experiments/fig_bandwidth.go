@@ -40,12 +40,15 @@ func Figure6(o Options) (*Figure6Data, error) {
 		bw    float64
 	}
 	n := len(masks) * len(allTypes)
-	cells := parallelMap(o, n, func(i int) cell {
+	cells, err := parallelMap(o, n, func(i int) cell {
 		m := masks[i/len(allTypes)]
 		ty := allTypes[i%len(allTypes)]
 		res := runCell(o, ty, 128, m.ZeroMask, gups.Random, 0)
 		return cell{label: m.Label, ty: ty, bw: res.RawGBps}
 	})
+	if err != nil {
+		return nil, err
+	}
 	d := &Figure6Data{Masks: masks, BW: map[string]map[gups.ReqType]float64{}}
 	for _, c := range cells {
 		if d.BW[c.label] == nil {
@@ -86,12 +89,15 @@ func Figure7(o Options) (*Figure7Data, error) {
 		bw  float64
 	}
 	n := len(pats) * len(allTypes)
-	cells := parallelMap(o, n, func(i int) cell {
+	cells, err := parallelMap(o, n, func(i int) cell {
 		p := pats[i/len(allTypes)]
 		ty := allTypes[i%len(allTypes)]
 		res := runCell(o, ty, 128, p.ZeroMask, gups.Random, 0)
 		return cell{pat: p.Name, ty: ty, bw: res.RawGBps}
 	})
+	if err != nil {
+		return nil, err
+	}
 	d := &Figure7Data{Patterns: pats, BW: map[string]map[gups.ReqType]float64{}}
 	for _, c := range cells {
 		if d.BW[c.pat] == nil {
@@ -135,11 +141,14 @@ func Figure8(o Options) (*Figure8Data, error) {
 		res  gups.Result
 	}
 	n := len(pats) * len(sizes)
-	cells := parallelMap(o, n, func(i int) cell {
+	cells, err := parallelMap(o, n, func(i int) cell {
 		p := pats[i/len(sizes)]
 		size := sizes[i%len(sizes)]
 		return cell{pat: p.Name, size: size, res: runCell(o, gups.ReadOnly, size, p.ZeroMask, gups.Random, 0)}
 	})
+	if err != nil {
+		return nil, err
+	}
 	d := &Figure8Data{
 		Patterns: pats, Sizes: sizes,
 		BW:   map[string]map[int]float64{},
@@ -192,13 +201,16 @@ func Figure13(o Options) (*Figure13Data, error) {
 		bw   float64
 	}
 	n := len(pats) * len(modes) * len(sizes)
-	cells := parallelMap(o, n, func(i int) cell {
+	cells, err := parallelMap(o, n, func(i int) cell {
 		p := pats[i/(len(modes)*len(sizes))]
 		mode := modes[(i/len(sizes))%len(modes)]
 		size := sizes[i%len(sizes)]
 		res := runCell(o, gups.ReadOnly, size, p.ZeroMask, mode, 0)
 		return cell{pat: p.Name, mode: mode, size: size, bw: res.RawGBps}
 	})
+	if err != nil {
+		return nil, err
+	}
 	d := &Figure13Data{Sizes: sizes, BW: map[string]map[gups.Mode]map[int]float64{}}
 	for _, c := range cells {
 		if d.BW[c.pat] == nil {

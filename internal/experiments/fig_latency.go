@@ -99,7 +99,7 @@ func Figure15(o Options) (*Figure15Data, error) {
 		s       stats.Summary
 	}
 	total := len(sizes) * len(counts)
-	cells := parallelMap(o, total, func(i int) cell {
+	cells, err := parallelMap(o, total, func(i int) cell {
 		size := sizes[i/len(counts)]
 		n := counts[i%len(counts)]
 		res, err := gups.RunStream(gups.StreamConfig{N: n, Size: size, Seed: o.Seed})
@@ -108,6 +108,9 @@ func Figure15(o Options) (*Figure15Data, error) {
 		}
 		return cell{size: size, n: n, s: res.LatencyNs}
 	})
+	if err != nil {
+		return nil, err
+	}
 	d := &Figure15Data{
 		Sizes: sizes, Counts: counts,
 		Avg: map[int]map[int]float64{}, Min: map[int]map[int]float64{}, Max: map[int]map[int]float64{},
@@ -162,11 +165,14 @@ func Figure16(o Options) (*Figure16Data, error) {
 		res  gups.Result
 	}
 	n := len(pats) * len(sizes)
-	cells := parallelMap(o, n, func(i int) cell {
+	cells, err := parallelMap(o, n, func(i int) cell {
 		p := pats[i/len(sizes)]
 		size := sizes[i%len(sizes)]
 		return cell{pat: p.Name, size: size, res: runCell(o, gups.ReadOnly, size, p.ZeroMask, gups.Random, 0)}
 	})
+	if err != nil {
+		return nil, err
+	}
 	d := &Figure16Data{Sizes: sizes, LatencyUs: map[string]map[int]float64{}, BW: map[string]map[int]float64{}}
 	for _, p := range pats {
 		d.Patterns = append(d.Patterns, p.Name)
@@ -254,11 +260,14 @@ func Figure17(o Options) (*Figure17Data, error) {
 		pts  []CurvePoint
 	}
 	n := len(pats) * len(sizes)
-	cells := parallelMap(o, n, func(i int) cell {
+	cells, err := parallelMap(o, n, func(i int) cell {
 		p := pats[i/len(sizes)]
 		size := sizes[i%len(sizes)]
 		return cell{pat: p.Name, size: size, pts: sweepPorts(o, p.ZeroMask, size)}
 	})
+	if err != nil {
+		return nil, err
+	}
 	d := &Figure17Data{
 		Sizes:            sizes,
 		Curves:           map[string]map[int][]CurvePoint{},
@@ -364,11 +373,14 @@ func Figure18(o Options) (*Figure18Data, error) {
 		pts  []CurvePoint
 	}
 	n := len(pats) * len(sizes)
-	cells := parallelMap(o, n, func(i int) cell {
+	cells, err := parallelMap(o, n, func(i int) cell {
 		p := pats[i/len(sizes)]
 		size := sizes[i%len(sizes)]
 		return cell{pat: p.Name, size: size, pts: sweepPorts(o, p.ZeroMask, size)}
 	})
+	if err != nil {
+		return nil, err
+	}
 	d := &Figure18Data{Sizes: sizes, Curves: map[string]map[int][]CurvePoint{}}
 	for _, p := range pats {
 		d.Patterns = append(d.Patterns, p.Name)

@@ -24,7 +24,7 @@ type ThermalCell struct {
 // thermalSweep runs the 27 full-scale GUPS cells shared by Figures
 // 9-12 (the paper reuses the same access patterns for its thermal and
 // power studies).
-func thermalSweep(o Options) []ThermalCell {
+func thermalSweep(o Options) ([]ThermalCell, error) {
 	pats := workloads.Standard()
 	n := len(pats) * len(allTypes)
 	return parallelMap(o, n, func(i int) ThermalCell {
@@ -63,7 +63,10 @@ type Figure9Data struct {
 // Figure9 reproduces the temperature/bandwidth sweep across cooling
 // configurations.
 func Figure9(o Options) (*Figure9Data, error) {
-	cells := thermalSweep(o)
+	cells, err := thermalSweep(o)
+	if err != nil {
+		return nil, err
+	}
 	tm := thermal.DefaultModel()
 	pm := power.DefaultModel()
 	d := &Figure9Data{
@@ -290,7 +293,10 @@ var figure12Targets = map[gups.ReqType][]int{
 // Figure12 derives cooling power vs bandwidth at constant temperature
 // from the thermal sweep.
 func Figure12(o Options) (*Figure12Data, error) {
-	cells := thermalSweep(o)
+	cells, err := thermalSweep(o)
+	if err != nil {
+		return nil, err
+	}
 	tm := thermal.DefaultModel()
 	pm := power.DefaultModel()
 	d := &Figure12Data{Curves: map[gups.ReqType]map[int][][2]float64{}}

@@ -25,6 +25,38 @@ type node struct {
 	rxProc sim.Server // response processing
 }
 
+// txn carries one in-flight transaction through the controller's TX
+// pipeline, the device, and the RX drain. Transactions are pooled on
+// the controller and act as their own engine events (sim.Handler), so
+// the per-request hot path builds no closures: the same object fires
+// at the link hand-off and again at drain completion.
+type txn struct {
+	c        *Controller
+	nd       *node
+	link     int
+	req      hmc.Request
+	submit   sim.Time // port-visible submission time
+	res      hmc.AccessResult
+	drainEnd sim.Time
+	done     func(Result)
+	inDevice bool
+	// devDone adapts the device's completion callback onto this txn;
+	// built once when the txn is first allocated, reused thereafter.
+	devDone func(hmc.AccessResult)
+	next    *txn
+}
+
+// Fire advances the transaction: first firing hands the packet to the
+// device at the link, second firing (armed by receive) completes it.
+func (t *txn) Fire(e *sim.Engine) {
+	if !t.inDevice {
+		t.inDevice = true
+		t.c.dev.Submit(e.Now(), t.link, t.req, t.devDone)
+		return
+	}
+	t.c.finish(t)
+}
+
 // Controller models the Micron HMC controller IP plus Pico firmware
 // plumbing between GUPS ports and the device links. It implements
 // the request flow-control stop signal as a per-bank outstanding
@@ -39,6 +71,9 @@ type Controller struct {
 
 	outstanding []int      // per global bank
 	waiters     [][]func() // ports blocked on a bank slot
+
+	freeTxns    *txn
+	wakeScratch []func()
 
 	submitted uint64
 	completed uint64
@@ -116,9 +151,35 @@ func (c *Controller) BankOutstanding(addr uint64) int {
 func (c *Controller) Submitted() uint64 { return c.submitted }
 func (c *Controller) Completed() uint64 { return c.completed }
 
+// newTxn takes a transaction from the pool (or grows it).
+func (c *Controller) newTxn() *txn {
+	t := c.freeTxns
+	if t == nil {
+		t = &txn{c: c}
+		t.devDone = func(res hmc.AccessResult) {
+			// Preserve the port-visible submission time.
+			res.Submit = t.submit
+			c.receive(t, res)
+		}
+	} else {
+		c.freeTxns = t.next
+	}
+	return t
+}
+
+// releaseTxn returns a transaction to the pool.
+func (c *Controller) releaseTxn(t *txn) {
+	t.done = nil
+	t.inDevice = false
+	t.next = c.freeTxns
+	c.freeTxns = t
+}
+
 // Submit accepts a request from a GUPS port at the current simulated
 // time and drives it through the TX pipeline, device, and RX path;
-// done runs when the response has drained into the port.
+// done runs when the response has drained into the port. done is
+// stored, not wrapped: callers that pass a reusable func value (the
+// ports do) keep the whole submission path allocation-free.
 //
 // Admission is the caller's job: ports consult CanIssue/WaitBank
 // before submitting (the stop signal halts generation, it does not
@@ -139,35 +200,41 @@ func (c *Controller) Submit(req hmc.Request, done func(Result)) {
 	_, pipeEnd := nd.txPipe.ReserveAt(now, buffered, c.p.TxPipeTime(reqFlits))
 	atLink := pipeEnd + c.p.Cycles(c.p.ArbiterCycles+c.p.SeqFlowCRCCycles+c.p.SerDesConvertCycles)
 
-	c.eng.At(atLink, func() {
-		c.dev.Submit(c.eng.Now(), link, req, func(res hmc.AccessResult) {
-			// Preserve the port-visible submission time.
-			res.Submit = now
-			c.receive(nd, req, res, done)
-		})
-	})
+	t := c.newTxn()
+	t.nd, t.link, t.req, t.submit, t.done = nd, link, req, now, done
+	c.eng.AtHandler(atLink, t)
 }
 
 // receive drives the RX path: response processing on the node, fixed
 // verification latency, then the per-port drain.
-func (c *Controller) receive(nd *node, req hmc.Request, res hmc.AccessResult, done func(Result)) {
+func (c *Controller) receive(t *txn, res hmc.AccessResult) {
 	nowRx := c.eng.Now()
-	_, procEnd := nd.rxProc.Reserve(nowRx, c.dev.Params().ResponseProcessing)
+	_, procEnd := t.nd.rxProc.Reserve(nowRx, c.dev.Params().ResponseProcessing)
 	verified := procEnd + c.p.RxFixedLatency()
-	respFlits := req.WireBytesResponse() / hmc.FlitBytes
-	_, drainEnd := c.drains[req.Port].ReserveAt(nowRx, verified, c.p.DrainTime(respFlits))
+	respFlits := t.req.WireBytesResponse() / hmc.FlitBytes
+	_, drainEnd := c.drains[t.req.Port].ReserveAt(nowRx, verified, c.p.DrainTime(respFlits))
+	t.res, t.drainEnd = res, drainEnd
+	c.eng.AtHandler(drainEnd, t)
+}
 
-	c.eng.At(drainEnd, func() {
-		c.completed++
-		bank := c.bankOf(req.Addr)
-		c.outstanding[bank]--
-		// Wake every waiter; they re-check admission.
-		if ws := c.waiters[bank]; len(ws) > 0 {
-			c.waiters[bank] = nil
-			for _, w := range ws {
-				w()
-			}
+// finish completes a drained transaction: bookkeeping, waiter wakeup,
+// then the port callback. The txn returns to the pool first so that
+// reentrant submissions from the callback reuse it.
+func (c *Controller) finish(t *txn) {
+	done, res, drainEnd, addr := t.done, t.res, t.drainEnd, t.req.Addr
+	c.releaseTxn(t)
+	c.completed++
+	bank := c.bankOf(addr)
+	c.outstanding[bank]--
+	// Wake every waiter; they re-check admission. Waiters are copied
+	// to a scratch buffer so wakeups that immediately re-wait append
+	// to a clean list instead of the one being iterated.
+	if ws := c.waiters[bank]; len(ws) > 0 {
+		c.wakeScratch = append(c.wakeScratch[:0], ws...)
+		c.waiters[bank] = ws[:0]
+		for _, w := range c.wakeScratch {
+			w()
 		}
-		done(Result{AccessResult: res, PortDeliver: drainEnd})
-	})
+	}
+	done(Result{AccessResult: res, PortDeliver: drainEnd})
 }

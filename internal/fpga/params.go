@@ -15,7 +15,7 @@ import (
 
 // Params holds the FPGA-side pipeline constants. Cycle counts come
 // directly from the paper's Figure 14 narration; throughput constants
-// are calibrated (see DESIGN.md Section 4).
+// are calibrated (calibrated against the paper's Figure 14 budget).
 type Params struct {
 	// ClockHz is the FPGA fabric clock: 187.5 MHz on the AC-510.
 	ClockHz float64

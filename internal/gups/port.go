@@ -62,6 +62,12 @@ type Port struct {
 	wakePending bool // a retry event or bank-wait callback is armed
 	stopped     bool
 
+	// Reusable callback values, built once in NewPort so the issue
+	// loop never allocates a closure or method value per request.
+	wake      func()            // bank-slot wakeup for Controller.WaitBank
+	readDone  func(fpga.Result) // read completion
+	writeDone func(fpga.Result) // write completion
+
 	// mixRNG draws the read/write intent for Mixed ports; the intent
 	// is held until issuable so blocking does not skew the ratio.
 	mixRNG    *sim.RNG
@@ -74,7 +80,7 @@ type Port struct {
 func NewPort(id int, eng *sim.Engine, ctrl *fpga.Controller, cfg PortConfig) *Port {
 	fp := ctrl.Params()
 	capMask := ctrl.Device().AddressMap().CapacityMask()
-	return &Port{
+	p := &Port{
 		id:         id,
 		cfg:        cfg,
 		eng:        eng,
@@ -85,10 +91,18 @@ func NewPort(id int, eng *sim.Engine, ctrl *fpga.Controller, cfg PortConfig) *Po
 		rmwPending: sim.NewQueue[uint64](0),
 		mixRNG:     sim.NewRNG(cfg.Seed ^ 0xa5a5a5a5),
 	}
+	p.wake = p.tryIssue
+	p.readDone = p.onReadDone
+	p.writeDone = p.onWriteDone
+	return p
 }
 
+// Fire runs the issue loop: the port is its own retry/pacing event,
+// so arming a wakeup never allocates.
+func (p *Port) Fire(*sim.Engine) { p.tryIssue() }
+
 // Start arms the port's issue loop.
-func (p *Port) Start() { p.eng.Schedule(0, p.tryIssue) }
+func (p *Port) Start() { p.eng.ScheduleHandler(0, p) }
 
 // Stop halts further request generation.
 func (p *Port) Stop() { p.stopped = true }
@@ -168,7 +182,7 @@ func (p *Port) tryIssue() {
 		// frees a slot.
 		if !p.wakePending {
 			p.wakePending = true
-			p.ctrl.WaitBank(addr, p.tryIssue)
+			p.ctrl.WaitBank(addr, p.wake)
 		}
 		return
 	}
@@ -181,11 +195,11 @@ func (p *Port) tryIssue() {
 			p.gen.Next()
 		}
 		p.writesOut++
-		p.ctrl.Submit(hmc.Request{Addr: addr, Size: p.cfg.Size, Write: true, Port: p.id}, p.onWriteDone)
+		p.ctrl.Submit(hmc.Request{Addr: addr, Size: p.cfg.Size, Write: true, Port: p.id}, p.writeDone)
 	} else {
 		p.gen.Next()
 		p.tagsInUse++
-		p.ctrl.Submit(hmc.Request{Addr: addr, Size: p.cfg.Size, Port: p.id}, p.onReadDone)
+		p.ctrl.Submit(hmc.Request{Addr: addr, Size: p.cfg.Size, Port: p.id}, p.readDone)
 	}
 	p.nextIssue = now + p.ctrl.Params().Cycle()
 	p.armRetry(p.nextIssue)
@@ -197,7 +211,7 @@ func (p *Port) armRetry(at sim.Time) {
 		return
 	}
 	p.wakePending = true
-	p.eng.At(at, p.tryIssue)
+	p.eng.AtHandler(at, p)
 }
 
 func (p *Port) onReadDone(r fpga.Result) {

@@ -79,13 +79,18 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 
 	res := StreamResult{Verified: cfg.Verify}
 
+	// want maps each address to the payload its (last) write carried,
+	// so the read-phase verifier needs no per-read closure state.
+	var want map[uint64][]byte
 	if cfg.Verify {
+		want = make(map[uint64][]byte, cfg.N)
 		// Phase 1: stream the writes, carrying real payloads through
 		// the packet layer into the functional store.
 		pending := cfg.N
 		for i, a := range addrs {
 			a := a
 			payload := testPattern(a, cfg.Size, byte(i))
+			want[a] = payload
 			pkt := &hmc.Packet{Cmd: hmc.CmdWrite, Tag: uint16(i), Addr: a, Data: payload}
 			wire, err := pkt.Encode()
 			if err != nil {
@@ -111,25 +116,23 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	}
 
 	// Phase 2: stream the reads back-to-back (one per FPGA cycle)
-	// through the single port and record each round trip.
-	cycle := rig.Ctrl.Params().Cycle()
-	burstStart := rig.Eng.Now() // phase 1 may have advanced the clock
-	for i, a := range addrs {
-		i, a := i, a
-		issueAt := burstStart + sim.Time(i)*cycle
-		rig.Eng.At(issueAt, func() {
-			rig.Ctrl.Submit(hmc.Request{Addr: a, Size: cfg.Size}, func(fr fpga.Result) {
-				res.LatencyNs.Add((fr.PortDeliver - issueAt).Nanoseconds())
-				if cfg.Verify && !fr.Err {
-					got, err := store.Read(a, cfg.Size)
-					want := testPattern(a, cfg.Size, byte(i))
-					if err != nil || !bytes.Equal(got, want) {
-						res.VerifyErrors++
-					}
-				}
-			})
-		})
+	// through the single port and record each round trip. A single
+	// self-rescheduling issuer drives the burst; the completion
+	// callback reads the submit time off the result, so neither side
+	// allocates per read.
+	onDone := func(fr fpga.Result) {
+		res.LatencyNs.Add(fr.Latency().Nanoseconds())
+		if cfg.Verify && !fr.Err {
+			a := fr.AccessResult.Req.Addr
+			got, err := store.Read(a, cfg.Size)
+			if err != nil || !bytes.Equal(got, want[a]) {
+				res.VerifyErrors++
+			}
+		}
 	}
+	iss := &burstIssuer{ctrl: rig.Ctrl, addrs: addrs, size: cfg.Size,
+		cycle: rig.Ctrl.Params().Cycle(), onDone: onDone}
+	rig.Eng.ScheduleHandler(0, iss)
 	rig.Eng.Run()
 	if res.LatencyNs.N() != uint64(cfg.N) {
 		return StreamResult{}, fmt.Errorf("gups: %d of %d reads completed", res.LatencyNs.N(), cfg.N)
@@ -138,6 +141,25 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 		res.Verified = false
 	}
 	return res, nil
+}
+
+// burstIssuer issues one read per FPGA cycle until its address list is
+// exhausted; it is its own pacing event (sim.Handler).
+type burstIssuer struct {
+	ctrl   *fpga.Controller
+	addrs  []uint64
+	size   int
+	cycle  sim.Duration
+	i      int
+	onDone func(fpga.Result)
+}
+
+func (b *burstIssuer) Fire(e *sim.Engine) {
+	b.ctrl.Submit(hmc.Request{Addr: b.addrs[b.i], Size: b.size}, b.onDone)
+	b.i++
+	if b.i < len(b.addrs) {
+		e.ScheduleHandler(b.cycle, b)
+	}
 }
 
 // testPattern derives a deterministic payload from an address.

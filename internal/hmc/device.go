@@ -123,6 +123,10 @@ type Device struct {
 	store  *Storage
 	failed bool
 
+	// deliver schedules completion callbacks through a pooled event,
+	// so the per-access hot path allocates nothing in steady state.
+	deliver sim.Deliverer[AccessResult]
+
 	counters Counters
 }
 
@@ -136,7 +140,8 @@ func NewDevice(eng *sim.Engine, p Params, amap *AddressMap) (*Device, error) {
 		return nil, fmt.Errorf("hmc: link count %d out of range", p.Links.Count)
 	}
 	g := amap.Geometry()
-	d := &Device{eng: eng, p: p, geo: g, amap: amap, policy: ClosedPage}
+	d := &Device{eng: eng, p: p, geo: g, amap: amap, policy: ClosedPage,
+		deliver: sim.NewDeliverer[AccessResult](eng)}
 	d.links = make([]linkState, p.Links.Count)
 	for i := range d.links {
 		// Each link attaches to one quadrant; with two links the
@@ -237,7 +242,7 @@ func (d *Device) Submit(now sim.Time, link int, req Request, done func(AccessRes
 		d.counters.Rejected++
 		res.Err = true
 		res.Deliver = now + d.p.LinkWireLatency*2 + d.p.IngressLatency
-		d.eng.At(res.Deliver, func() { done(res) })
+		d.deliver.Deliver(res.Deliver, res, done)
 		return
 	}
 
@@ -293,7 +298,7 @@ func (d *Device) Submit(now sim.Time, link int, req Request, done func(AccessRes
 	d.counters.DataBytes += uint64(req.Size)
 	d.counters.WireBytes += uint64(req.WireBytesRequest() + req.WireBytesResponse())
 
-	d.eng.At(res.Deliver, func() { done(res) })
+	d.deliver.Deliver(res.Deliver, res, done)
 }
 
 // SubmitLocal performs a vault-local access from a compute element in
@@ -311,7 +316,7 @@ func (d *Device) SubmitLocal(now sim.Time, req Request, done func(AccessResult))
 		d.counters.Rejected++
 		res.Err = true
 		res.Deliver = now + d.p.VaultRequestOverhead
-		d.eng.At(res.Deliver, func() { done(res) })
+		d.deliver.Deliver(res.Deliver, res, done)
 		return
 	}
 	v := d.vaults[loc.Vault]
@@ -347,7 +352,32 @@ func (d *Device) SubmitLocal(now sim.Time, req Request, done func(AccessResult))
 	// TSVs. Wire accounting therefore counts data only.
 	d.counters.WireBytes += uint64(req.Size)
 
-	d.eng.At(res.Deliver, func() { done(res) })
+	d.deliver.Deliver(res.Deliver, res, done)
+}
+
+// refreshTicker is the per-vault refresh loop: one reusable Handler
+// that reschedules itself, so steady-state refresh costs no
+// allocation per tick.
+type refreshTicker struct {
+	d        *Device
+	v        *vaultState
+	interval sim.Duration
+	until    sim.Time
+}
+
+func (t *refreshTicker) Fire(e *sim.Engine) {
+	now := e.Now()
+	if now >= t.until || t.d.failed {
+		return
+	}
+	b := &t.v.banks[t.v.refreshCursor]
+	t.v.refreshCursor = (t.v.refreshCursor + 1) % len(t.v.banks)
+	b.srv.Reserve(now, t.d.p.RefreshLatency)
+	if t.d.policy == OpenPage {
+		b.hasOpen = false // refresh closes the row
+	}
+	t.d.counters.Refreshes++
+	e.ScheduleHandler(t.interval, t)
 }
 
 // StartRefresh schedules staggered per-bank refresh activity until the
@@ -364,24 +394,9 @@ func (d *Device) StartRefresh(until sim.Time, hot bool) {
 		return
 	}
 	for vi := range d.vaults {
-		v := d.vaults[vi]
-		var tick func()
-		tick = func() {
-			now := d.eng.Now()
-			if now >= until || d.failed {
-				return
-			}
-			b := &v.banks[v.refreshCursor]
-			v.refreshCursor = (v.refreshCursor + 1) % len(v.banks)
-			b.srv.Reserve(now, d.p.RefreshLatency)
-			if d.policy == OpenPage {
-				b.hasOpen = false // refresh closes the row
-			}
-			d.counters.Refreshes++
-			d.eng.Schedule(interval, tick)
-		}
+		tick := &refreshTicker{d: d, v: d.vaults[vi], interval: interval, until: until}
 		// Stagger vault phases so refreshes do not beat in lockstep.
-		d.eng.Schedule(interval*sim.Duration(vi)/sim.Duration(len(d.vaults)), tick)
+		d.eng.ScheduleHandler(interval*sim.Duration(vi)/sim.Duration(len(d.vaults)), tick)
 	}
 }
 

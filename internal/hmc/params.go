@@ -43,7 +43,7 @@ func AC510Links() LinkConfig {
 
 // Params gathers every timing/calibration constant of the device
 // model. Each field documents the paper or spec value it targets;
-// DESIGN.md Section 4 lists the calibration rationale.
+// README.md and the package docs record the calibration rationale.
 type Params struct {
 	Links LinkConfig
 

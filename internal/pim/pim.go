@@ -107,7 +107,17 @@ func runPIM(k Kernel) (RunResult, error) {
 	inFlight := 0
 	blocked := false
 	exhausted := false
+	// pump and onDone are each built once; AccessResult carries the
+	// submit time, so completions capture no per-access state.
 	var pump func()
+	var onDone func(hmc.AccessResult)
+	onDone = func(r hmc.AccessResult) {
+		inFlight--
+		out.LatencyNs.Add((r.Deliver - r.Submit).Nanoseconds())
+		blocked = false
+		// Compute phase per access on the vault processor.
+		eng.Schedule(k.ComputePerAccess, pump)
+	}
 	pump = func() {
 		for !blocked && inFlight < window && !exhausted {
 			a, ok := gen.Next()
@@ -125,18 +135,10 @@ func runPIM(k Kernel) (RunResult, error) {
 				blocked = true
 				return
 			}
-			submitted := eng.Now()
 			inFlight++
 			out.Accesses++
 			dep := a.Dependent
-			dev.SubmitLocal(submitted, hmc.Request{Addr: a.Addr & capMask, Size: a.Size, Write: a.Write},
-				func(r hmc.AccessResult) {
-					inFlight--
-					out.LatencyNs.Add((r.Deliver - submitted).Nanoseconds())
-					blocked = false
-					// Compute phase per access on the vault processor.
-					eng.Schedule(k.ComputePerAccess, pump)
-				})
+			dev.SubmitLocal(eng.Now(), hmc.Request{Addr: a.Addr & capMask, Size: a.Size, Write: a.Write}, onDone)
 			if dep {
 				blocked = true
 				return

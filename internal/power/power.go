@@ -26,7 +26,7 @@ type Activity struct {
 }
 
 // Model holds the calibrated power coefficients. Calibration targets
-// (DESIGN.md Section 4): ~2 W device increase from 5 to 20 GB/s
+// (Figure 11): ~2 W device increase from 5 to 20 GB/s
 // (Figure 11b), wo thermally failing at Cfg3 while rw survives
 // (Figure 9), machine power within the 104-118 W band of Figure 10.
 type Model struct {

@@ -1,0 +1,137 @@
+// Package runner is the shared experiment-execution layer: a
+// context-cancellable worker pool over independent simulation cells,
+// deterministic per-cell seed derivation, progress callbacks, and
+// structured result sinks (aligned text, CSV, JSON).
+//
+// Every experiment in internal/experiments fans its cells out through
+// Map; every CLI renders its reports through the sinks. Determinism is
+// structural: results are stored by cell index, and each cell derives
+// its randomness from (base seed, index) alone, so the output is
+// byte-identical regardless of worker count or completion order.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Config tunes a pool run.
+type Config struct {
+	// Workers bounds concurrent cells (0 = NumCPU).
+	Workers int
+	// Progress, when non-nil, is called after each cell completes with
+	// the number done so far and the total. Calls are serialized but
+	// may come from any worker; keep it fast.
+	Progress func(done, total int)
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Map evaluates f(ctx, i) for every i in [0, n) across the worker
+// pool, preserving index order in the returned slice. f must be safe
+// to run concurrently with other indices (each cell owns its own
+// engine). The first error cancels the remaining cells and is
+// returned; a canceled ctx surfaces as ctx.Err(). On error the
+// partial results are returned alongside it.
+func Map[T any](ctx context.Context, cfg Config, n int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	w := cfg.workers()
+	if w > n {
+		w = n
+	}
+
+	var (
+		mu    sync.Mutex
+		done  int
+		first error
+	)
+	cellDone := func(err error) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			return false
+		}
+		done++
+		if cfg.Progress != nil {
+			cfg.Progress(done, n)
+		}
+		return true
+	}
+
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			v, err := f(ctx, i)
+			if err != nil {
+				return out, err
+			}
+			out[i] = v
+			cellDone(nil)
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v, err := f(ctx, i)
+				if err != nil {
+					cellDone(err)
+					cancel() // stop the feeder and idle the pool
+					return
+				}
+				out[i] = v
+				cellDone(nil)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if first != nil {
+		return out, first
+	}
+	return out, ctx.Err()
+}
+
+// CellSeed derives a decorrelated per-cell RNG seed from a base seed
+// and a cell index (splitmix64 over the pair), so concurrent cells
+// consume independent random streams regardless of worker count or
+// completion order. Experiments use it to give each sweep cell its
+// own stream while staying reproducible from one user-facing seed.
+func CellSeed(base uint64, i int) uint64 {
+	x := base ^ (uint64(i)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,166 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		out, err := Map(context.Background(), Config{Workers: workers}, 100,
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapZeroCells(t *testing.T) {
+	out, err := Map(context.Background(), Config{}, 0,
+		func(_ context.Context, i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("n=0: out=%v err=%v", out, err)
+	}
+}
+
+func TestMapFirstErrorCancelsRest(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := Map(context.Background(), Config{Workers: 4}, 1000,
+		func(ctx context.Context, i int) (int, error) {
+			ran.Add(1)
+			if i == 3 {
+				return 0, boom
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(time.Millisecond):
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Fatal("error did not cancel remaining cells")
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, Config{Workers: 4}, 100,
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapProgress(t *testing.T) {
+	var calls []int
+	_, err := Map(context.Background(), Config{
+		Workers:  3,
+		Progress: func(done, total int) { calls = append(calls, done) },
+	}, 10, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 10 {
+		t.Fatalf("progress called %d times, want 10", len(calls))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress out of order: %v", calls)
+		}
+	}
+}
+
+func TestCellSeedDecorrelated(t *testing.T) {
+	seen := map[uint64]bool{}
+	for base := uint64(0); base < 4; base++ {
+		for i := 0; i < 256; i++ {
+			s := CellSeed(base, i)
+			if seen[s] {
+				t.Fatalf("seed collision at base=%d i=%d", base, i)
+			}
+			seen[s] = true
+		}
+	}
+	if CellSeed(1, 0) != CellSeed(1, 0) {
+		t.Fatal("CellSeed not deterministic")
+	}
+}
+
+func sampleReport() Report {
+	g := Grid{Title: "t, with comma", Cols: []string{"a", "b"}}
+	g.AddRow("1", `x"y`)
+	g.AddRow("2", "z")
+	return Report{ID: "sample", Title: "Sample", Grids: []Grid{g}, Notes: []string{"n1"}}
+}
+
+func TestSinksRoundTrip(t *testing.T) {
+	r := sampleReport()
+	for _, s := range Sinks() {
+		var b bytes.Buffer
+		if err := s.Write(&b, r); err != nil {
+			t.Fatalf("%s sink: %v", s.Ext(), err)
+		}
+		if b.Len() == 0 {
+			t.Fatalf("%s sink wrote nothing", s.Ext())
+		}
+		switch s.Ext() {
+		case "txt":
+			if !strings.Contains(b.String(), "SAMPLE") {
+				t.Fatal("text sink missing header")
+			}
+		case "csv":
+			if !strings.Contains(b.String(), `"x""y"`) {
+				t.Fatalf("csv sink did not escape quotes: %q", b.String())
+			}
+		case "json":
+			var back Report
+			if err := json.Unmarshal(b.Bytes(), &back); err != nil {
+				t.Fatalf("json sink not parseable: %v", err)
+			}
+			if back.ID != r.ID || len(back.Grids) != 1 || back.Grids[0].Rows[0][1] != `x"y` {
+				t.Fatalf("json round trip mangled report: %+v", back)
+			}
+		}
+	}
+}
+
+func TestSinkFor(t *testing.T) {
+	for format, ext := range map[string]string{"text": "txt", "csv": "csv", "json": "json"} {
+		s, err := SinkFor(format)
+		if err != nil || s.Ext() != ext {
+			t.Fatalf("SinkFor(%q) = %v, %v", format, s, err)
+		}
+	}
+	if _, err := SinkFor("yaml"); err == nil {
+		t.Fatal("SinkFor accepted an unknown format")
+	}
+}
+
+func TestMapManyMoreCellsThanWorkers(t *testing.T) {
+	n := 10000
+	out, err := Map(context.Background(), Config{Workers: 7}, n,
+		func(_ context.Context, i int) (string, error) { return fmt.Sprint(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[n-1] != fmt.Sprint(n-1) {
+		t.Fatalf("last cell = %q", out[n-1])
+	}
+}

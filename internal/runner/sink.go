@@ -1,0 +1,160 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Grid is a rendered table: the universal output shape of every
+// experiment (text for humans, CSV and JSON for plotting).
+type Grid struct {
+	Title string     `json:"title"`
+	Cols  []string   `json:"cols"`
+	Rows  [][]string `json:"rows"`
+}
+
+// AddRow appends a formatted row.
+func (g *Grid) AddRow(cells ...string) { g.Rows = append(g.Rows, cells) }
+
+// Table renders aligned text.
+func (g *Grid) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", g.Title)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(g.Cols, "\t"))
+	for _, r := range g.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// CSV renders comma-separated values with a header row. Cells
+// containing commas or quotes are quoted.
+func (g *Grid) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	row(g.Cols)
+	for _, r := range g.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+// Report is an experiment's full output: one or more grids.
+type Report struct {
+	ID    string   `json:"id"` // e.g. "table1", "figure6"
+	Title string   `json:"title"`
+	Grids []Grid   `json:"grids"`
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Table renders the whole report as aligned text.
+func (r Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", strings.ToUpper(r.ID), r.Title)
+	for _, g := range r.Grids {
+		b.WriteString(g.Table())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders every grid, separated by blank lines.
+func (r Report) CSV() string {
+	var b strings.Builder
+	for i, g := range r.Grids {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "# %s\n", g.Title)
+		b.WriteString(g.CSV())
+	}
+	return b.String()
+}
+
+// JSON renders the report as indented JSON (stable field order).
+func (r Report) JSON() (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
+// Sink writes a report in one output format. The three standard sinks
+// cover the text/CSV artifacts cmd/figures always produced plus JSON
+// for programmatic consumers.
+type Sink interface {
+	// Ext is the filename extension (without dot) for file outputs.
+	Ext() string
+	// Write renders r to w.
+	Write(w io.Writer, r Report) error
+}
+
+type textSink struct{}
+
+func (textSink) Ext() string { return "txt" }
+func (textSink) Write(w io.Writer, r Report) error {
+	_, err := io.WriteString(w, r.Table())
+	return err
+}
+
+type csvSink struct{}
+
+func (csvSink) Ext() string { return "csv" }
+func (csvSink) Write(w io.Writer, r Report) error {
+	_, err := io.WriteString(w, r.CSV())
+	return err
+}
+
+type jsonSink struct{}
+
+func (jsonSink) Ext() string { return "json" }
+func (jsonSink) Write(w io.Writer, r Report) error {
+	s, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, s)
+	return err
+}
+
+// Sinks returns the standard sink set: aligned text, CSV, JSON.
+func Sinks() []Sink { return []Sink{textSink{}, csvSink{}, jsonSink{}} }
+
+// SinkFor resolves a user-facing format name ("text", "csv", "json")
+// to its sink, so CLIs can reject a bad format before running any
+// simulation.
+func SinkFor(format string) (Sink, error) {
+	ext := format
+	if ext == "text" {
+		ext = "txt"
+	}
+	for _, s := range Sinks() {
+		if s.Ext() == ext {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("runner: unknown format %q (want text, csv or json)", format)
+}

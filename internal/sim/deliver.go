@@ -1,0 +1,49 @@
+package sim
+
+// Deliverer schedules pooled completion callbacks: Deliver(at, v, done)
+// runs done(v) at the given time without allocating in steady state.
+// It exists for the "compute the full timing inline, then deliver the
+// result later" pattern every device model uses; the pooled event
+// replaces a per-completion closure capturing (v, done).
+//
+// The pool is unbounded but only ever as large as the peak number of
+// in-flight deliveries, and events return to it before their callback
+// runs, so reentrant submissions reuse the same entries.
+type Deliverer[T any] struct {
+	eng  *Engine
+	free *pooledEvent[T]
+}
+
+type pooledEvent[T any] struct {
+	p    *Deliverer[T]
+	v    T
+	done func(T)
+	next *pooledEvent[T]
+}
+
+// Fire releases the event back to the pool, then invokes the callback.
+func (ev *pooledEvent[T]) Fire(*Engine) {
+	v, done := ev.v, ev.done
+	var zero T
+	ev.v, ev.done = zero, nil
+	ev.next = ev.p.free
+	ev.p.free = ev
+	done(v)
+}
+
+// NewDeliverer builds a delivery pool bound to an engine.
+func NewDeliverer[T any](eng *Engine) Deliverer[T] {
+	return Deliverer[T]{eng: eng}
+}
+
+// Deliver schedules done(v) at absolute time at.
+func (p *Deliverer[T]) Deliver(at Time, v T, done func(T)) {
+	ev := p.free
+	if ev == nil {
+		ev = &pooledEvent[T]{p: p}
+	} else {
+		p.free = ev.next
+	}
+	ev.v, ev.done = v, done
+	p.eng.AtHandler(at, ev)
+}

@@ -1,51 +1,57 @@
 package sim
 
-import "container/heap"
+// Handler is a scheduled event target. Pre-allocated Handler values
+// are the engine's fast path: scheduling one costs no allocation,
+// because the event queue stores the interface value inline and a
+// pointer-shaped Handler boxes for free. Device models keep one
+// Handler per port/vault/transaction-pool entry and reschedule it,
+// instead of building a fresh closure per event.
+type Handler interface {
+	// Fire runs the event. The engine's clock already stands at the
+	// event's timestamp when Fire is called.
+	Fire(e *Engine)
+}
 
-// event is a scheduled callback. seq breaks ties so that events
+// funcHandler adapts the closure API onto the Handler queue. A func
+// value is pointer-shaped, so this conversion does not allocate; the
+// closure itself still does, which is why hot paths prefer Handler.
+type funcHandler func()
+
+func (f funcHandler) Fire(*Engine) { f() }
+
+// event is a scheduled Handler. seq breaks ties so that events
 // scheduled earlier at the same timestamp run first (deterministic
 // FIFO semantics within a timestep).
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	h   Handler
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the strict heap order: timestamp, then scheduling order.
+func (ev event) before(o event) bool {
+	if ev.at != o.at {
+		return ev.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
+	return ev.seq < o.seq
 }
 
 // Engine is a deterministic discrete-event simulator. It is not safe
 // for concurrent use; run one Engine per goroutine.
+//
+// The pending-event queue is an index-based binary heap over a
+// value-typed slice: no container/heap interface{} boxing, no
+// per-event heap allocation. Steady-state scheduling through the
+// Handler API performs zero allocations.
 type Engine struct {
 	now       Time
 	seq       uint64
-	events    eventHeap
+	events    []event
 	processed uint64
 }
 
 // NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
-}
+func NewEngine() *Engine { return &Engine{} }
 
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -61,21 +67,71 @@ func (e *Engine) Pending() int { return len(e.events) }
 // treated as zero (run at the current timestamp, after events already
 // scheduled there).
 func (e *Engine) Schedule(delay Duration, fn func()) {
+	e.ScheduleHandler(delay, funcHandler(fn))
+}
+
+// ScheduleHandler is Schedule for the allocation-free Handler path.
+func (e *Engine) ScheduleHandler(delay Duration, h Handler) {
 	if delay < 0 {
 		delay = 0
 	}
-	e.At(e.now+delay, fn)
+	e.AtHandler(e.now+delay, h)
 }
 
 // At runs fn at absolute time t. Scheduling in the past panics: it is
 // always a model bug, and silently reordering history would corrupt
 // every FIFO reservation made since.
-func (e *Engine) At(t Time, fn func()) {
+func (e *Engine) At(t Time, fn func()) { e.AtHandler(t, funcHandler(fn)) }
+
+// AtHandler is At for the allocation-free Handler path.
+func (e *Engine) AtHandler(t Time, h Handler) {
 	if t < e.now {
 		panic("sim: scheduling event in the past")
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, h: h})
+}
+
+// push appends ev and sifts it up to its heap position.
+func (e *Engine) push(ev event) {
+	evs := append(e.events, ev)
+	i := len(evs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !evs[i].before(evs[parent]) {
+			break
+		}
+		evs[i], evs[parent] = evs[parent], evs[i]
+		i = parent
+	}
+	e.events = evs
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() event {
+	evs := e.events
+	root := evs[0]
+	n := len(evs) - 1
+	evs[0] = evs[n]
+	evs[n] = event{} // release the Handler for GC
+	evs = evs[:n]
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && evs[r].before(evs[child]) {
+			child = r
+		}
+		if !evs[child].before(evs[i]) {
+			break
+		}
+		evs[i], evs[child] = evs[child], evs[i]
+		i = child
+	}
+	e.events = evs
+	return root
 }
 
 // Step executes the single next event, advancing the clock to its
@@ -84,10 +140,10 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.processed++
-	ev.fn()
+	ev.h.Fire(e)
 	return true
 }
 

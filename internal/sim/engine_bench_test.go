@@ -1,0 +1,107 @@
+package sim
+
+import "testing"
+
+// The schedule benchmarks measure the engine's two scheduling APIs at
+// steady state. The Handler path must report 0 allocs/op: the event
+// queue is a value-typed slice and a pointer Handler boxes for free.
+// The closure path pays one allocation per captured closure (the
+// closure object itself); the queue adds none.
+
+type benchHandler struct{ n uint64 }
+
+func (h *benchHandler) Fire(*Engine) { h.n++ }
+
+func BenchmarkEngineScheduleHandler(b *testing.B) {
+	e := NewEngine()
+	h := &benchHandler{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleHandler(1, h)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleHandlerDepth64 keeps 64 events pending, so
+// every push/pop exercises the heap's sift paths.
+func BenchmarkEngineScheduleHandlerDepth64(b *testing.B) {
+	e := NewEngine()
+	h := &benchHandler{}
+	for i := 0; i < 64; i++ {
+		e.ScheduleHandler(Duration(i), h)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleHandler(64, h)
+		e.Step()
+	}
+}
+
+func BenchmarkEngineScheduleClosure(b *testing.B) {
+	e := NewEngine()
+	var n uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, func() { n++ })
+		e.Step()
+	}
+}
+
+func BenchmarkEngineScheduleClosureDepth64(b *testing.B) {
+	e := NewEngine()
+	var n uint64
+	for i := 0; i < 64; i++ {
+		e.Schedule(Duration(i), func() { n++ })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(64, func() { n++ })
+		e.Step()
+	}
+}
+
+// selfRescheduler models a device tick loop: one Handler instance that
+// reschedules itself until a horizon, the dominant pattern in the
+// migrated vault/refresh/port models.
+type selfRescheduler struct {
+	until Time
+	fired uint64
+}
+
+func (h *selfRescheduler) Fire(e *Engine) {
+	h.fired++
+	if e.Now() < h.until {
+		e.ScheduleHandler(1, h)
+	}
+}
+
+func BenchmarkEngineRunSelfRescheduling(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		h := &selfRescheduler{until: 10000}
+		e.ScheduleHandler(0, h)
+		e.Run()
+		if h.fired == 0 {
+			b.Fatal("no events fired")
+		}
+	}
+}
+
+func BenchmarkDelivererDeliver(b *testing.B) {
+	e := NewEngine()
+	d := NewDeliverer[uint64](e)
+	var sum uint64
+	done := func(v uint64) { sum += v }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Deliver(e.Now()+1, uint64(i), done)
+		e.Step()
+	}
+}

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// recordHandler appends its id to a shared log when fired.
+type recordHandler struct {
+	id  int
+	log *[]int
+}
+
+func (h *recordHandler) Fire(*Engine) { *h.log = append(*h.log, h.id) }
+
+// timeLogHandler records the clock at each firing; a single instance
+// can be scheduled many times (the reuse the fast path exists for).
+type timeLogHandler struct{ seen []Time }
+
+func (h *timeLogHandler) Fire(e *Engine) { h.seen = append(h.seen, e.Now()) }
+
+func TestHandlerOrdering(t *testing.T) {
+	e := NewEngine()
+	var log []int
+	hs := []*recordHandler{{3, &log}, {1, &log}, {2, &log}}
+	e.ScheduleHandler(30, hs[0])
+	e.ScheduleHandler(10, hs[1])
+	e.ScheduleHandler(20, hs[2])
+	e.Run()
+	if len(log) != 3 || log[0] != 1 || log[1] != 2 || log[2] != 3 {
+		t.Fatalf("handlers ran out of order: %v", log)
+	}
+}
+
+func TestHandlerSameTimestampFIFO(t *testing.T) {
+	e := NewEngine()
+	var log []int
+	for i := 0; i < 200; i++ {
+		e.ScheduleHandler(5, &recordHandler{i, &log})
+	}
+	e.Run()
+	for i, v := range log {
+		if v != i {
+			t.Fatalf("same-timestamp handlers reordered at %d: got %d", i, v)
+		}
+	}
+}
+
+// Closure and Handler events scheduled at the same timestamp must
+// interleave in scheduling order: both APIs share one sequence space.
+func TestHandlerClosureInterleavedFIFO(t *testing.T) {
+	e := NewEngine()
+	var log []int
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			e.ScheduleHandler(7, &recordHandler{i, &log})
+		} else {
+			i := i
+			e.Schedule(7, func() { log = append(log, i) })
+		}
+	}
+	e.Run()
+	for i, v := range log {
+		if v != i {
+			t.Fatalf("mixed-API same-timestamp events reordered at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestHandlerPastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	h := &timeLogHandler{}
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AtHandler in the past did not panic")
+			}
+		}()
+		e.AtHandler(5, h)
+	})
+	e.Run()
+}
+
+// Property: a random mix of closure and Handler events with random
+// delays fires in nondecreasing time order with nothing dropped.
+func TestHandlerMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16, seed int64) bool {
+		e := NewEngine()
+		h := &timeLogHandler{}
+		rng := rand.New(rand.NewSource(seed))
+		closureFired := 0
+		for _, d := range delays {
+			if rng.Intn(2) == 0 {
+				e.ScheduleHandler(Duration(d), h)
+			} else {
+				e.Schedule(Duration(d), func() {
+					h.seen = append(h.seen, e.Now())
+					closureFired++
+				})
+			}
+		}
+		e.Run()
+		if len(h.seen) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(h.seen); i++ {
+			if h.seen[i] < h.seen[i-1] {
+				return false
+			}
+		}
+		return e.Pending() == 0 && e.Processed() == uint64(len(delays))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: draining the heap one Step at a time pops events in
+// exactly (timestamp, seq) order even under adversarial push patterns
+// (descending times, duplicates, interleaved nested pushes).
+func TestHeapPopOrderProperty(t *testing.T) {
+	f := func(times []uint8) bool {
+		e := NewEngine()
+		h := &timeLogHandler{}
+		for _, at := range times {
+			e.AtHandler(Time(at), h)
+		}
+		prev := Time(-1)
+		for e.Step() {
+			if e.Now() < prev {
+				return false
+			}
+			prev = e.Now()
+		}
+		return len(h.seen) == len(times)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandlerRunUntil(t *testing.T) {
+	e := NewEngine()
+	h := &timeLogHandler{}
+	for _, d := range []Duration{10, 20, 30, 40} {
+		e.ScheduleHandler(d, h)
+	}
+	e.RunUntil(25)
+	if len(h.seen) != 2 || e.Pending() != 2 || e.Now() != 25 {
+		t.Fatalf("RunUntil(25): fired %v, pending %d, now %v", h.seen, e.Pending(), e.Now())
+	}
+	e.Run()
+	if len(h.seen) != 4 {
+		t.Fatalf("remaining handler events did not run: %v", h.seen)
+	}
+}
+
+func TestDelivererReusesEvents(t *testing.T) {
+	e := NewEngine()
+	d := NewDeliverer[int](e)
+	var got []int
+	done := func(v int) { got = append(got, v) }
+	for i := 0; i < 10; i++ {
+		d.Deliver(Time(10*i), i, done)
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("delivery %d carried %d", i, v)
+		}
+	}
+	// All events must have been returned to the pool.
+	n := 0
+	for ev := d.free; ev != nil; ev = ev.next {
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no pooled events free after drain")
+	}
+	// Reentrant deliveries (done schedules another) must reuse the pool
+	// rather than grow it.
+	before := n
+	count := 0
+	var chainDone func(int)
+	chainDone = func(v int) {
+		count++
+		if v > 0 {
+			d.Deliver(e.Now()+5, v-1, chainDone)
+		}
+	}
+	d.Deliver(e.Now()+5, 100, chainDone)
+	e.Run()
+	if count != 101 {
+		t.Fatalf("chained deliveries ran %d times, want 101", count)
+	}
+	after := 0
+	for ev := d.free; ev != nil; ev = ev.next {
+		after++
+	}
+	if after != before {
+		t.Fatalf("pool grew from %d to %d on serialized reentrant deliveries", before, after)
+	}
+}
