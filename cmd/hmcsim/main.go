@@ -6,10 +6,15 @@
 //
 //	hmcsim [-type ro|wo|rw] [-size 128] [-pattern "16 vaults"]
 //	       [-mode random|linear] [-ports 9] [-measure-us 800]
+//	hmcsim -scenario zipfian            # run a declarative scenario
+//	hmcsim -scenario-list               # list the scenario library
 //
 // Pattern names follow the paper's figures: "16 vaults", "8 vaults",
 // "4 vaults", "2 vaults", "1 vault", "8 banks", "4 banks", "2 banks",
-// "1 bank", or "full" for the unrestricted address space.
+// "1 bank", or "full" for the unrestricted address space. Scenario
+// names come from the internal/scenario builtin library (uniform,
+// zipfian, hotspot, mixed-rw, seqjump, open-loop, tenants-4,
+// chain-4).
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"hmcsim/internal/experiments"
 	"hmcsim/internal/gups"
 	"hmcsim/internal/runner"
+	"hmcsim/internal/scenario"
 	"hmcsim/internal/sim"
 	"hmcsim/internal/workloads"
 )
@@ -80,11 +86,47 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	format := flag.String("format", "", "structured output: text, csv or json (default: classic summary)")
 	insights := flag.Bool("insights", false, "print the paper's design insights and exit")
+	scenarioName := flag.String("scenario", "", "run a declarative workload scenario by name (see -scenario-list)")
+	scenarioList := flag.Bool("scenario-list", false, "list the builtin scenario library and exit")
 	flag.Parse()
 
 	if *insights {
 		for _, in := range core.Insights() {
 			fmt.Printf("(%d) %s  [see %s]\n", in.N, in.Text, in.Experiment)
+		}
+		return
+	}
+
+	if *scenarioList {
+		for _, s := range scenario.Builtin() {
+			fmt.Printf("%-12s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+
+	if *scenarioName != "" {
+		spec, err := scenario.ByName(*scenarioName)
+		if err != nil {
+			fail(err)
+		}
+		f := *format
+		if f == "" {
+			f = "text"
+		}
+		sink, err := runner.SinkFor(f)
+		if err != nil {
+			fail(err)
+		}
+		res, err := scenario.Run(spec, scenario.Options{
+			Warmup:  sim.Duration(*warmupUs) * sim.Microsecond,
+			Measure: sim.Duration(*measureUs) * sim.Microsecond,
+			Seed:    *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		if err := sink.Write(os.Stdout, res.Report()); err != nil {
+			fail(err)
 		}
 		return
 	}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"hmcsim/internal/hmc"
+	"hmcsim/internal/sim"
+)
+
+// TestPimthermalSmoke compiles the example and exercises its failure
+// path: a thermal shutdown loses DRAM contents and a reset + restore
+// recovers them.
+func TestPimthermalSmoke(t *testing.T) {
+	eng := sim.NewEngine()
+	amap := hmc.MustAddressMap(hmc.Geometries(hmc.HMC11), hmc.Block128)
+	dev := hmc.MustDevice(eng, hmc.DefaultParams(), amap)
+	store := hmc.NewStorage(dev.Geometry())
+	dev.AttachStorage(store)
+
+	dataset := []byte("kernel state")
+	const base = 0x1000
+	if err := store.Write(base, dataset); err != nil {
+		t.Fatal(err)
+	}
+	dev.TriggerThermalFailure()
+	var errResp bool
+	dev.Submit(eng.Now(), 0, hmc.Request{Addr: base, Size: 64}, func(r hmc.AccessResult) {
+		errResp = r.Err
+	})
+	eng.Run()
+	if !errResp {
+		t.Error("access during thermal shutdown should carry the error flag")
+	}
+	after, _ := store.Read(base, len(dataset))
+	if bytes.Equal(after, dataset) {
+		t.Error("thermal shutdown should lose DRAM contents")
+	}
+
+	dev.Reset()
+	if err := store.Write(base, dataset); err != nil {
+		t.Fatal(err)
+	}
+	var ok bool
+	dev.Submit(eng.Now(), 0, hmc.Request{Addr: base, Size: 64}, func(r hmc.AccessResult) {
+		ok = !r.Err
+	})
+	eng.Run()
+	restored, _ := store.Read(base, len(dataset))
+	if !ok || !bytes.Equal(restored, dataset) {
+		t.Error("reset + checkpoint restore should recover the device")
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+
+	"hmcsim/internal/trace"
+)
+
+// TestPointerchaseSmoke compiles the example and checks its headline
+// claim on a small replay: dependent dereferences are far slower than
+// an independent stream.
+func TestPointerchaseSmoke(t *testing.T) {
+	const accesses = 2000
+	stream, err := trace.Replay(
+		&trace.StrideGen{Stride: 128, Size: 128, Count: accesses},
+		trace.ReplayConfig{Window: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chase, err := trace.Replay(
+		trace.NewChaseGen(1, 128, accesses, 1<<30-1),
+		trace.ReplayConfig{Window: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chase.DataGBps >= stream.DataGBps {
+		t.Errorf("pointer chase (%.2f GB/s) should trail the stream (%.2f GB/s)",
+			chase.DataGBps, stream.DataGBps)
+	}
+}

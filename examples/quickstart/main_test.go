@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/experiments"
+	"hmcsim/internal/gups"
+)
+
+// TestQuickstartSmoke compiles the example and exercises its core
+// path at quick fidelity: one measured workload with a thermal
+// assessment under all cooling configurations.
+func TestQuickstartSmoke(t *testing.T) {
+	ch := core.New(experiments.Quick())
+	m, err := ch.Measure(core.Workload{Type: gups.ReadOnly, Size: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Perf.RawGBps <= 0 || m.Perf.MRPS <= 0 {
+		t.Fatalf("no measured traffic: %+v", m.Perf)
+	}
+	if len(m.Thermal) != 4 {
+		t.Fatalf("expected 4 cooling configs, got %d", len(m.Thermal))
+	}
+	if len(m.SafeConfigs()) == 0 {
+		t.Error("read-only 128 B workload should be safe under at least one config")
+	}
+}

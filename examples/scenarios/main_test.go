@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"hmcsim/internal/scenario"
+	"hmcsim/internal/sim"
+)
+
+// TestScenariosSmoke compiles the walkthrough and exercises its two
+// paths: a builtin scenario and the custom multi-tenant spec.
+func TestScenariosSmoke(t *testing.T) {
+	opts := scenario.Options{
+		Warmup: 10 * sim.Microsecond, Measure: 30 * sim.Microsecond, Seed: 1,
+	}
+	res := scenario.MustRun(must(scenario.ByName("uniform")), opts)
+	if res.Total.RawGBps <= 0 {
+		t.Fatalf("uniform scenario produced no traffic: %+v", res.Total)
+	}
+	custom := scenario.Spec{
+		Name: "smoke",
+		Tenants: []scenario.Tenant{
+			{Name: "a", Ports: 1, Access: scenario.Access{Kind: "zipfian"}},
+			{Name: "b", Ports: 1, Mix: "wo"},
+		},
+	}
+	r, err := scenario.Run(custom, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tenants) != 2 || r.Total.Reads == 0 || r.Total.Writes == 0 {
+		t.Fatalf("custom spec stats wrong: %+v", r.Tenants)
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"hmcsim/internal/core"
+	"hmcsim/internal/experiments"
+	"hmcsim/internal/gups"
+	"hmcsim/internal/workloads"
+)
+
+// TestStreamingSmoke compiles the example and checks its headline
+// claim at quick fidelity: striping a stream across all vaults beats
+// packing it into one.
+func TestStreamingSmoke(t *testing.T) {
+	ch := core.New(experiments.Quick())
+	packed, err := ch.Measure(core.Workload{
+		Type: gups.ReadOnly, Size: 128, Mode: gups.Linear,
+		Pattern: workloads.VaultPattern(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	striped, err := ch.Measure(core.Workload{
+		Type: gups.ReadOnly, Size: 128, Mode: gups.Linear,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if striped.Perf.RawGBps <= packed.Perf.RawGBps {
+		t.Errorf("striped (%.2f GB/s) should beat single-vault (%.2f GB/s)",
+			striped.Perf.RawGBps, packed.Perf.RawGBps)
+	}
+}

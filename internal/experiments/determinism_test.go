@@ -78,3 +78,31 @@ func TestSeedChangesOutput(t *testing.T) {
 		t.Error("figure7 output identical across different seeds")
 	}
 }
+
+// TestScenarioWorkerDeterminism: the scenario overview fans every
+// builtin spec across the pool; its rendered output must be
+// byte-identical between Workers=1 and Workers=8, and a repeated run
+// must replay exactly (seeded zipfian/hotspot generators included).
+func TestScenarioWorkerDeterminism(t *testing.T) {
+	serial, err := runScenarioOverview(fastOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := runScenarioOverview(fastOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Table() != parallel.Table() {
+		t.Error("scenario overview text differs between Workers=1 and Workers=8")
+	}
+	if serial.CSV() != parallel.CSV() {
+		t.Error("scenario overview CSV differs between Workers=1 and Workers=8")
+	}
+	replay, err := runScenarioOverview(fastOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel.Table() != replay.Table() {
+		t.Error("scenario overview not reproducible across runs at Workers=8")
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"hmcsim/internal/runner"
+	"hmcsim/internal/scenario"
+)
+
+// Scenarios exposes the declarative workload library as registry
+// entries: one experiment per builtin spec (id "scn-<name>") plus an
+// overview sweep that runs every spec and tabulates the headline
+// numbers side by side.
+func Scenarios() []Experiment {
+	out := []Experiment{
+		{"scenarios", "Scenario overview: every builtin spec side by side", runScenarioOverview},
+	}
+	for _, spec := range scenario.Builtin() {
+		spec := spec
+		out = append(out, Experiment{
+			ID:    "scn-" + spec.Name,
+			Title: "Scenario: " + spec.Description,
+			Run: func(o Options) (Report, error) {
+				res, err := scenario.Run(spec, scenarioOptions(o))
+				if err != nil {
+					return Report{}, err
+				}
+				return res.Report(), nil
+			},
+		})
+	}
+	return out
+}
+
+// scenarioOptions maps experiment options onto the scenario runner.
+func scenarioOptions(o Options) scenario.Options {
+	return scenario.Options{Warmup: o.Warmup, Measure: o.Measure, Seed: o.Seed}
+}
+
+// runScenarioOverview fans every builtin scenario out across the
+// worker pool and tabulates totals.
+func runScenarioOverview(o Options) (Report, error) {
+	specs := scenario.Builtin()
+	cfg := runner.Config{Workers: o.Workers, Progress: o.Progress}
+	results, err := runner.Map(o.context(), cfg, len(specs),
+		func(_ context.Context, i int) (scenario.Result, error) {
+			return scenario.Run(specs[i], scenarioOptions(o))
+		})
+	if err != nil {
+		return Report{}, err
+	}
+	g := Grid{
+		Title: "Builtin scenario library: aggregate traffic per spec",
+		Cols:  []string{"Scenario", "Topology", "Tenants", "Raw GB/s", "Data GB/s", "MRPS", "Read lat avg ns"},
+	}
+	for i, res := range results {
+		topo := specs[i].Topology
+		if topo == "" {
+			topo = "single"
+		}
+		lat := "-"
+		if res.Total.ReadLatencyNs.N() > 0 {
+			lat = f0(res.Total.ReadLatencyNs.Mean())
+		}
+		g.AddRow(specs[i].Name, topo, fmt.Sprintf("%d", len(specs[i].Tenants)),
+			f2(res.Total.RawGBps), f2(res.Total.DataGBps), f1(res.Total.MRPS), lat)
+	}
+	return Report{
+		ID: "scenarios", Title: "Scenario Overview", Grids: []Grid{g},
+		Notes: []string{"declarative workload scenarios compiled onto the simulated stack; see internal/scenario"},
+	}, nil
+}

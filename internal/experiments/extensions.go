@@ -26,8 +26,10 @@ func Extensions() []Experiment {
 }
 
 // AllWithExtensions returns the paper registry followed by the
-// extension experiments.
-func AllWithExtensions() []Experiment { return append(All(), Extensions()...) }
+// extension experiments and the scenario library.
+func AllWithExtensions() []Experiment {
+	return append(append(All(), Extensions()...), Scenarios()...)
+}
 
 // ExtReadRatioData holds the read-ratio sweep.
 type ExtReadRatioData struct {

@@ -11,9 +11,13 @@ func TestExtensionsRegistry(t *testing.T) {
 	if len(exts) != 7 {
 		t.Fatalf("%d extensions, want 7", len(exts))
 	}
+	scns := Scenarios()
+	if want := 1 + 8; len(scns) != want { // overview + one per builtin spec
+		t.Fatalf("%d scenario experiments, want %d", len(scns), want)
+	}
 	all := AllWithExtensions()
-	if len(all) != 24 {
-		t.Fatalf("%d combined experiments, want 24", len(all))
+	if want := 17 + len(exts) + len(scns); len(all) != want {
+		t.Fatalf("%d combined experiments, want %d", len(all), want)
 	}
 	for _, e := range exts {
 		if e.ID == "" || e.Run == nil {

@@ -15,7 +15,12 @@ import (
 	"hmcsim/internal/sim"
 )
 
-// Mode selects the port addressing mode.
+// Mode selects the port addressing mode. Random and Linear are the
+// two modes of the paper's Verilog generator; the remaining modes
+// generalize the Section IV-A access-pattern taxonomy into the
+// production-style traffic shapes the scenario engine composes
+// (skewed popularity, hot working sets, strided walks, and
+// sequential scans with occasional jumps).
 type Mode int
 
 const (
@@ -23,13 +28,49 @@ const (
 	Random Mode = iota
 	// Linear walks the address space sequentially.
 	Linear
+	// Zipfian draws block indices from a Zipf distribution (Gray's
+	// method), scattering ranks over the space so hot blocks do not
+	// cluster in one vault — the serving-cache popularity shape.
+	Zipfian
+	// Hotspot sends HotRate of the traffic to the first HotFraction
+	// of the block space and the rest uniformly to the remainder.
+	Hotspot
+	// Strided advances the cursor by a fixed stride per request
+	// (column walks, tensor slices).
+	Strided
+	// SeqJump scans sequentially and jumps to a random base every
+	// JumpEvery requests (log segments, chunked scans).
+	SeqJump
 )
 
 func (m Mode) String() string {
-	if m == Linear {
+	switch m {
+	case Linear:
 		return "linear"
+	case Zipfian:
+		return "zipfian"
+	case Hotspot:
+		return "hotspot"
+	case Strided:
+		return "strided"
+	case SeqJump:
+		return "seqjump"
+	default:
+		return "random"
 	}
-	return "random"
+}
+
+// ModeByName resolves a scenario-spec mode name.
+func ModeByName(name string) (Mode, error) {
+	for _, m := range []Mode{Random, Linear, Zipfian, Hotspot, Strided, SeqJump} {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	if name == "uniform" { // scenario-spec alias for Random
+		return Random, nil
+	}
+	return 0, fmt.Errorf("gups: unknown address mode %q", name)
 }
 
 // ReqType selects the request mix of a port.
@@ -65,6 +106,75 @@ func (t ReqType) String() string {
 	}
 }
 
+// GenParams configures an address generator. The zero value of every
+// distribution parameter selects a sensible default, so callers only
+// set what their mode uses.
+type GenParams struct {
+	Mode Mode
+	// Size is the request payload size used for alignment and the
+	// linear stride.
+	Size int
+	// ZeroMask/OneMask are the mask/anti-mask registers.
+	ZeroMask, OneMask uint64
+	// CapMask is the device capacity mask (AddressMap.CapacityMask).
+	CapMask uint64
+	Seed    uint64
+	// LinearStart is the initial cursor for Linear/Strided/SeqJump.
+	LinearStart uint64
+
+	// ZipfTheta is the Zipfian skew in (0,1); default 0.99.
+	ZipfTheta float64
+	// HotFraction is the hot share of the block space (default 0.1);
+	// HotRate is the traffic share it receives (default 0.9).
+	HotFraction, HotRate float64
+	// StrideBytes is the Strided advance per request (default 8x size).
+	StrideBytes uint64
+	// JumpEvery is the SeqJump run length in requests (default 32).
+	JumpEvery int
+}
+
+func (p GenParams) withDefaults() GenParams {
+	if p.ZipfTheta == 0 {
+		p.ZipfTheta = 0.99
+	}
+	if p.HotFraction == 0 {
+		p.HotFraction = 0.1
+	}
+	if p.HotRate == 0 {
+		p.HotRate = 0.9
+	}
+	if p.StrideBytes == 0 {
+		p.StrideBytes = 8 * uint64(p.Size)
+	}
+	if p.JumpEvery == 0 {
+		p.JumpEvery = 32
+	}
+	return p
+}
+
+// Validate rejects parameters the generator cannot realize.
+func (p GenParams) Validate() error {
+	p = p.withDefaults()
+	if (p.Mode == Zipfian || p.Mode == Hotspot) && p.Size <= 0 {
+		return fmt.Errorf("gups: %v mode needs a positive request size, got %d", p.Mode, p.Size)
+	}
+	if p.Mode == Zipfian && (p.ZipfTheta <= 0 || p.ZipfTheta >= 1) {
+		return fmt.Errorf("gups: zipf theta %v outside (0,1)", p.ZipfTheta)
+	}
+	if p.Mode == Hotspot {
+		if p.HotFraction <= 0 || p.HotFraction >= 1 {
+			return fmt.Errorf("gups: hot fraction %v outside (0,1)", p.HotFraction)
+		}
+		if p.HotRate <= 0 || p.HotRate > 1 {
+			return fmt.Errorf("gups: hot rate %v outside (0,1]", p.HotRate)
+		}
+	}
+	if p.Mode == SeqJump && p.JumpEvery < 1 {
+		return fmt.Errorf("gups: jump-every %d < 1", p.JumpEvery)
+	}
+	return nil
+}
+
 // AddrGen produces the address stream of one port, applying the
 // mask/anti-mask registers that force address bits to zero/one
 // (Section III-B) and aligning requests.
@@ -79,21 +189,79 @@ type AddrGen struct {
 
 	pending    uint64
 	hasPending bool
+
+	// Zipfian state: rank distribution over nBlocks blocks.
+	nBlocks uint64
+	zipf    *sim.Zipf
+
+	// Hotspot state.
+	hotBlocks uint64
+	hotRate   float64
+
+	// Strided / SeqJump state.
+	stride  uint64
+	jumpLen int
+	runLeft int
 }
 
 // NewAddrGen builds a generator. capMask is the device capacity mask
 // (AddressMap.CapacityMask); size is the request payload size used
 // for alignment and linear stride.
 func NewAddrGen(mode Mode, size int, zeroMask, oneMask, capMask uint64, seed uint64, linearStart uint64) *AddrGen {
-	return &AddrGen{
-		mode:     mode,
-		size:     uint64(size),
-		zeroMask: zeroMask,
-		oneMask:  oneMask,
-		capMask:  capMask,
-		rng:      sim.NewRNG(seed),
-		cursor:   linearStart,
+	return NewAddrGenParams(GenParams{
+		Mode: mode, Size: size, ZeroMask: zeroMask, OneMask: oneMask,
+		CapMask: capMask, Seed: seed, LinearStart: linearStart,
+	})
+}
+
+// NewAddrGenParams builds a generator from the full parameter set.
+// Invalid distribution parameters panic; validate with
+// GenParams.Validate first when the spec comes from user input.
+func NewAddrGenParams(p GenParams) *AddrGen {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		panic(err)
 	}
+	g := &AddrGen{
+		mode:     p.Mode,
+		size:     uint64(p.Size),
+		zeroMask: p.ZeroMask,
+		oneMask:  p.OneMask,
+		capMask:  p.CapMask,
+		rng:      sim.NewRNG(p.Seed),
+		cursor:   p.LinearStart,
+		stride:   p.StrideBytes,
+		jumpLen:  p.JumpEvery,
+	}
+	g.runLeft = g.jumpLen
+	blocks := uint64(1)
+	if p.Size > 0 {
+		blocks = (p.CapMask + 1) / uint64(p.Size)
+		if blocks == 0 {
+			blocks = 1
+		}
+	}
+	g.nBlocks = blocks
+	switch p.Mode {
+	case Zipfian:
+		g.zipf = sim.NewZipf(blocks, p.ZipfTheta)
+	case Hotspot:
+		g.hotBlocks = uint64(float64(blocks) * p.HotFraction)
+		if g.hotBlocks == 0 {
+			g.hotBlocks = 1
+		}
+		if g.hotBlocks >= blocks {
+			g.hotBlocks = blocks - 1
+		}
+		g.hotRate = p.HotRate
+		if g.hotBlocks == 0 {
+			// A one-block space has no cold region: degenerate to
+			// always-hot so neither branch draws Uint64n(0).
+			g.hotBlocks = 1
+			g.hotRate = 1
+		}
+	}
+	return g
 }
 
 // align keeps requests on 16 B element boundaries and, for
@@ -109,10 +277,33 @@ func (g *AddrGen) align(a uint64) uint64 {
 
 func (g *AddrGen) raw() uint64 {
 	var a uint64
-	if g.mode == Linear {
+	switch g.mode {
+	case Linear:
 		a = g.cursor
 		g.cursor += g.size
-	} else {
+	case Strided:
+		a = g.cursor
+		g.cursor += g.stride
+	case SeqJump:
+		if g.runLeft == 0 {
+			g.cursor = g.rng.Uint64()
+			g.runLeft = g.jumpLen
+		}
+		g.runLeft--
+		a = g.cursor
+		g.cursor += g.size
+	case Zipfian:
+		// Scatter ranks over the space with a bit-mixing hash so hot
+		// blocks do not cluster in one vault (the low-order interleave
+		// would otherwise pin rank 1..k to vault 0).
+		a = sim.Mix64(g.zipf.Rank(g.rng.Float64())-1) % g.nBlocks * g.size
+	case Hotspot:
+		if g.rng.Float64() < g.hotRate {
+			a = g.rng.Uint64n(g.hotBlocks) * g.size
+		} else {
+			a = (g.hotBlocks + g.rng.Uint64n(g.nBlocks-g.hotBlocks)) * g.size
+		}
+	default: // Random
 		a = g.rng.Uint64()
 	}
 	a = (a &^ g.zeroMask) | g.oneMask

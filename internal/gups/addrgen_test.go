@@ -121,3 +121,198 @@ func TestModeAndTypeStrings(t *testing.T) {
 		t.Error("unknown type empty")
 	}
 }
+
+// --- new-mode distribution tests -----------------------------------
+
+// TestAddrGenZipfianSkew: the hottest blocks must dominate the draw,
+// and every draw must stay aligned and in capacity.
+func TestAddrGenZipfianSkew(t *testing.T) {
+	const n = 200000
+	g := NewAddrGenParams(GenParams{
+		Mode: Zipfian, Size: 128, CapMask: testCapMask, Seed: 7, ZipfTheta: 0.99,
+	})
+	counts := map[uint64]int{}
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		if a > testCapMask || a%128 != 0 {
+			t.Fatalf("bad zipf address %#x", a)
+		}
+		counts[a]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Theta 0.99 over 32M blocks gives the rank-1 block several
+	// percent of all draws; uniform would give ~n/32M < 1.
+	if max < n/100 {
+		t.Errorf("hottest zipf block drew %d of %d (< 1%%); distribution not skewed", max, n)
+	}
+	if len(counts) > n/2 {
+		t.Errorf("zipf draws spread over %d distinct blocks of %d draws; too uniform", len(counts), n)
+	}
+}
+
+// TestAddrGenHotspotSplit: the hot region receives ~HotRate of the
+// traffic.
+func TestAddrGenHotspotSplit(t *testing.T) {
+	const n = 100000
+	p := GenParams{
+		Mode: Hotspot, Size: 128, CapMask: testCapMask, Seed: 11,
+		HotFraction: 0.1, HotRate: 0.9,
+	}
+	g := NewAddrGenParams(p)
+	blocks := (uint64(testCapMask) + 1) / 128
+	hotBytes := uint64(float64(blocks)*0.1) * 128
+	hot := 0
+	for i := 0; i < n; i++ {
+		if g.Next() < hotBytes {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.88 || frac > 0.92 {
+		t.Errorf("hot region drew %.3f of traffic, want ~0.9", frac)
+	}
+}
+
+// TestAddrGenSeqJumpRuns: between jumps the walk is sequential with
+// the request-size stride.
+func TestAddrGenSeqJumpRuns(t *testing.T) {
+	g := NewAddrGenParams(GenParams{
+		Mode: SeqJump, Size: 128, CapMask: testCapMask, Seed: 3, JumpEvery: 16,
+	})
+	prev := g.Next()
+	seq, jumps := 0, 0
+	for i := 1; i < 1600; i++ {
+		a := g.Next()
+		if a == prev+128 {
+			seq++
+		} else {
+			jumps++
+		}
+		prev = a
+	}
+	if jumps == 0 {
+		t.Error("seqjump never jumped")
+	}
+	// With a run length of 16, ~15/16 of steps are sequential.
+	if seq < 1400 {
+		t.Errorf("only %d of 1599 steps sequential; runs broken", seq)
+	}
+}
+
+// TestAddrGenStrided: constant-stride walk.
+func TestAddrGenStrided(t *testing.T) {
+	g := NewAddrGenParams(GenParams{
+		Mode: Strided, Size: 128, CapMask: testCapMask, Seed: 1, StrideBytes: 4096,
+	})
+	prev := g.Next()
+	for i := 1; i < 100; i++ {
+		a := g.Next()
+		if a != (prev+4096)&testCapMask {
+			t.Fatalf("stride broken at %d: %#x -> %#x", i, prev, a)
+		}
+		prev = a
+	}
+}
+
+// TestAddrGenNewModesDeterministic: seeded non-uniform generators
+// replay identically — the property the scenario regression harness
+// rests on.
+func TestAddrGenNewModesDeterministic(t *testing.T) {
+	for _, mode := range []Mode{Zipfian, Hotspot, Strided, SeqJump} {
+		a := NewAddrGenParams(GenParams{Mode: mode, Size: 64, CapMask: testCapMask, Seed: 99})
+		b := NewAddrGenParams(GenParams{Mode: mode, Size: 64, CapMask: testCapMask, Seed: 99})
+		for i := 0; i < 500; i++ {
+			if a.Next() != b.Next() {
+				t.Fatalf("%v: same-seed generators diverged at %d", mode, i)
+			}
+		}
+	}
+}
+
+// TestGenParamsValidate: distribution parameters are range-checked.
+func TestGenParamsValidate(t *testing.T) {
+	bad := []GenParams{
+		{Mode: Zipfian, Size: 128, ZipfTheta: 1.5},
+		{Mode: Zipfian, Size: 128, ZipfTheta: -0.5},
+		{Mode: Hotspot, Size: 128, HotFraction: 1.5},
+		{Mode: Hotspot, Size: 128, HotRate: 1.5},
+		{Mode: SeqJump, Size: 128, JumpEvery: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %+v: expected validation error", p)
+		}
+	}
+	if err := (GenParams{Mode: Zipfian, Size: 128}).Validate(); err != nil {
+		t.Errorf("defaulted zipf params rejected: %v", err)
+	}
+}
+
+// TestModeByName covers the scenario-spec name round trip.
+func TestModeByName(t *testing.T) {
+	for _, m := range []Mode{Random, Linear, Zipfian, Hotspot, Strided, SeqJump} {
+		got, err := ModeByName(m.String())
+		if err != nil || got != m {
+			t.Errorf("ModeByName(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if got, err := ModeByName("uniform"); err != nil || got != Random {
+		t.Errorf("uniform alias broken: %v, %v", got, err)
+	}
+	if _, err := ModeByName("bogus"); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}
+
+// TestAddrGenHotspotSingleBlock: a one-block space degenerates to
+// always-hot instead of panicking in Uint64n(0) (regression).
+func TestAddrGenHotspotSingleBlock(t *testing.T) {
+	g := NewAddrGenParams(GenParams{Mode: Hotspot, Size: 128, CapMask: 127, Seed: 1})
+	for i := 0; i < 100; i++ {
+		if a := g.Next(); a != 0 {
+			t.Fatalf("single-block hotspot produced %#x", a)
+		}
+	}
+}
+
+// TestAddrGenZipfianNonPow2Blocks: with a non-power-of-two block
+// count whose gcd with a multiplicative constant exceeds 1 (48 B
+// blocks over 4 GB -> nBlocks divisible by 5), the rank scatter must
+// still reach blocks in every residue class (regression for the
+// plain multiplicative hash collapsing the image).
+func TestAddrGenZipfianNonPow2Blocks(t *testing.T) {
+	g := NewAddrGenParams(GenParams{Mode: Zipfian, Size: 48, CapMask: testCapMask, Seed: 5})
+	residues := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		a := g.Next()
+		// Recover the pre-alignment block index range: alignment
+		// keeps 16 B granularity, so block residue mod 5 survives in
+		// a/48 only approximately — count distinct 48 B block ids.
+		residues[(a/48)%5] = true
+	}
+	if len(residues) < 4 {
+		t.Errorf("zipf scatter reaches only residues %v of 0..4; image collapsed", residues)
+	}
+}
+
+// TestAddrGenSizeZeroRandom: the old NewAddrGen contract allowed a
+// zero size for Random mode (no block count needed); the generalized
+// constructor must not divide by zero (regression).
+func TestAddrGenSizeZeroRandom(t *testing.T) {
+	g := NewAddrGen(Random, 0, 0, 0, testCapMask, 1, 0)
+	for i := 0; i < 10; i++ {
+		if a := g.Next(); a > testCapMask {
+			t.Fatalf("address %#x beyond capacity", a)
+		}
+	}
+	for _, mode := range []Mode{Zipfian, Hotspot} {
+		if err := (GenParams{Mode: mode, CapMask: testCapMask}).Validate(); err == nil {
+			t.Errorf("%v with zero size accepted", mode)
+		}
+	}
+}

@@ -106,15 +106,58 @@ type Rig struct {
 	Ports []*Port
 }
 
+// PortSeed derives port i's RNG seed from the experiment seed — the
+// derivation every rig (full-scale GUPS and scenario tenants alike)
+// uses, so a scenario that reduces to a GUPS config reproduces its
+// numbers exactly.
+func PortSeed(base uint64, i int) uint64 { return base*1000003 + uint64(i)*7919 }
+
+// PortLinearStart staggers sequential ports across banks (bit 11) and
+// rows (bit 21) so concurrent linear streams exercise bank-level
+// parallelism instead of marching over one bank in lockstep.
+func PortLinearStart(i int) uint64 { return uint64(i)*(1<<11) + uint64(i)*(1<<21) }
+
 // BuildRig constructs the engine, device, controller and ports for a
 // config without running anything (used by the runners and tests).
 func BuildRig(cfg Config) (*Rig, error) {
 	cfg = cfg.withDefaults()
-	if !hmc.ValidPayload(cfg.Size) {
-		return nil, fmt.Errorf("gups: invalid request size %d", cfg.Size)
+	pcs := make([]PortConfig, cfg.Ports)
+	for i := range pcs {
+		pcs[i] = PortConfig{
+			Type:         cfg.Type,
+			Size:         cfg.Size,
+			Mode:         cfg.Mode,
+			ReadFraction: cfg.ReadFraction,
+			ZeroMask:     cfg.ZeroMask,
+			OneMask:      cfg.OneMask,
+			Seed:         PortSeed(cfg.Seed, i),
+			LinearStart:  PortLinearStart(i),
+		}
 	}
-	if cfg.Type == Mixed && (cfg.ReadFraction < 0 || cfg.ReadFraction > 1) {
-		return nil, fmt.Errorf("gups: read fraction %v outside [0,1]", cfg.ReadFraction)
+	return BuildRigPorts(cfg, pcs)
+}
+
+// BuildRigPorts constructs a rig with explicitly configured ports
+// (the scenario engine's entry point: heterogeneous per-tenant port
+// configs sharing one cube). cfg supplies the device/controller
+// configuration; per-port traffic comes from pcs.
+func BuildRigPorts(cfg Config, pcs []PortConfig) (*Rig, error) {
+	cfg = cfg.withDefaults()
+	for _, pc := range pcs {
+		if !hmc.ValidPayload(pc.Size) {
+			return nil, fmt.Errorf("gups: invalid request size %d", pc.Size)
+		}
+		if pc.Type == Mixed && (pc.ReadFraction < 0 || pc.ReadFraction > 1) {
+			return nil, fmt.Errorf("gups: read fraction %v outside [0,1]", pc.ReadFraction)
+		}
+		gp := GenParams{
+			Mode: pc.Mode, Size: pc.Size, ZipfTheta: pc.ZipfTheta,
+			HotFraction: pc.HotFraction, HotRate: pc.HotRate,
+			StrideBytes: pc.StrideBytes, JumpEvery: pc.JumpEvery,
+		}
+		if err := gp.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	eng := sim.NewEngine()
 	amap, err := hmc.NewAddressMap(hmc.Geometries(cfg.Generation), cfg.MaxBlock)
@@ -129,8 +172,8 @@ func BuildRig(cfg Config) (*Rig, error) {
 	if cfg.FPGAParams != nil {
 		fp = *cfg.FPGAParams
 	}
-	if cfg.Ports > fp.Ports {
-		return nil, fmt.Errorf("gups: %d ports exceed the %d available", cfg.Ports, fp.Ports)
+	if len(pcs) > fp.Ports {
+		return nil, fmt.Errorf("gups: %d ports exceed the %d available", len(pcs), fp.Ports)
 	}
 	dev, err := hmc.NewDevice(eng, dp, amap)
 	if err != nil {
@@ -142,21 +185,7 @@ func BuildRig(cfg Config) (*Rig, error) {
 		return nil, err
 	}
 	rig := &Rig{Eng: eng, Dev: dev, Ctrl: ctrl}
-	for i := 0; i < cfg.Ports; i++ {
-		pc := PortConfig{
-			Type:         cfg.Type,
-			Size:         cfg.Size,
-			Mode:         cfg.Mode,
-			ReadFraction: cfg.ReadFraction,
-			ZeroMask:     cfg.ZeroMask,
-			OneMask:      cfg.OneMask,
-			Seed:         cfg.Seed*1000003 + uint64(i)*7919,
-			// Linear ports start staggered across banks (bit 11) and
-			// rows (bit 21) so nine sequential streams exercise
-			// bank-level parallelism instead of marching over one
-			// bank in lockstep.
-			LinearStart: uint64(i)*(1<<11) + uint64(i)*(1<<21),
-		}
+	for i, pc := range pcs {
 		rig.Ports = append(rig.Ports, NewPort(i, eng, ctrl, pc))
 	}
 	return rig, nil

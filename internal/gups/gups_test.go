@@ -279,3 +279,19 @@ func TestMixedExtremesMatchPure(t *testing.T) {
 		t.Fatalf("mixed@0%% issued %d reads", allWrites.Reads)
 	}
 }
+
+// TestBuildRigPortsValidation: the heterogeneous-ports entry point
+// returns errors for bad per-port parameters instead of panicking in
+// the generator constructor (regression).
+func TestBuildRigPortsValidation(t *testing.T) {
+	base := Config{}
+	if _, err := BuildRigPorts(base, []PortConfig{{Type: ReadOnly, Size: 128, Mode: Zipfian, ZipfTheta: 1.5}}); err == nil {
+		t.Error("bad zipf theta accepted")
+	}
+	if _, err := BuildRigPorts(base, []PortConfig{{Type: ReadOnly, Size: 100}}); err == nil {
+		t.Error("invalid payload size accepted")
+	}
+	if _, err := BuildRigPorts(base, []PortConfig{{Type: ReadOnly, Size: 128, Mode: Hotspot, HotRate: 2}}); err == nil {
+		t.Error("bad hot rate accepted")
+	}
+}

@@ -40,6 +40,25 @@ type PortConfig struct {
 	OneMask      uint64
 	Seed         uint64
 	LinearStart  uint64
+
+	// ZipfTheta, HotFraction, HotRate, StrideBytes and JumpEvery
+	// parameterize the non-uniform address modes (see GenParams);
+	// zero values select the generator defaults.
+	ZipfTheta            float64
+	HotFraction, HotRate float64
+	StrideBytes          uint64
+	JumpEvery            int
+
+	// IssueInterval switches the port to open-loop injection: issue
+	// attempts are paced at this fixed interval (one request per
+	// interval when admitted) instead of one per FPGA cycle. Zero
+	// keeps the closed-loop hardware pacing.
+	IssueInterval sim.Duration
+	// Outstanding caps the closed-loop window below the hardware
+	// depths: reads are bounded by min(tag pool, Outstanding) and
+	// writes by min(write FIFO, Outstanding). Zero keeps the full
+	// hardware depths.
+	Outstanding int
 }
 
 // Port is the event-driven model of one GUPS port: it issues at most
@@ -54,6 +73,7 @@ type Port struct {
 
 	tagDepth   int
 	wfifoDepth int
+	interval   sim.Duration
 
 	tagsInUse   int
 	writesOut   int
@@ -81,25 +101,57 @@ func NewPort(id int, eng *sim.Engine, ctrl *fpga.Controller, cfg PortConfig) *Po
 	fp := ctrl.Params()
 	capMask := ctrl.Device().AddressMap().CapacityMask()
 	p := &Port{
-		id:         id,
-		cfg:        cfg,
-		eng:        eng,
-		ctrl:       ctrl,
-		gen:        NewAddrGen(cfg.Mode, cfg.Size, cfg.ZeroMask, cfg.OneMask, capMask, cfg.Seed, cfg.LinearStart),
+		id:   id,
+		cfg:  cfg,
+		eng:  eng,
+		ctrl: ctrl,
+		gen: NewAddrGenParams(GenParams{
+			Mode: cfg.Mode, Size: cfg.Size, ZeroMask: cfg.ZeroMask, OneMask: cfg.OneMask,
+			CapMask: capMask, Seed: cfg.Seed, LinearStart: cfg.LinearStart,
+			ZipfTheta: cfg.ZipfTheta, HotFraction: cfg.HotFraction, HotRate: cfg.HotRate,
+			StrideBytes: cfg.StrideBytes, JumpEvery: cfg.JumpEvery,
+		}),
 		tagDepth:   fp.TagPoolDepth,
 		wfifoDepth: fp.WriteFIFODepth,
+		interval:   fp.Cycle(),
 		rmwPending: sim.NewQueue[uint64](0),
 		mixRNG:     sim.NewRNG(cfg.Seed ^ 0xa5a5a5a5),
 	}
-	p.wake = p.tryIssue
+	if cfg.Outstanding > 0 {
+		if cfg.Outstanding < p.tagDepth {
+			p.tagDepth = cfg.Outstanding
+		}
+		if cfg.Outstanding < p.wfifoDepth {
+			p.wfifoDepth = cfg.Outstanding
+		}
+	}
+	if cfg.IssueInterval > 0 {
+		p.interval = cfg.IssueInterval
+	}
+	p.wake = p.wakeUp
 	p.readDone = p.onReadDone
 	p.writeDone = p.onWriteDone
 	return p
 }
 
 // Fire runs the issue loop: the port is its own retry/pacing event,
-// so arming a wakeup never allocates.
-func (p *Port) Fire(*sim.Engine) { p.tryIssue() }
+// so arming a wakeup never allocates. Only the armed event (or the
+// bank-slot callback it stands for) clears wakePending — completion
+// callbacks invoke tryIssue directly and must leave an armed pacing
+// event in place, or every completion would arm a duplicate event
+// that re-arms itself forever (quadratic event processing under
+// open-loop pacing, where completions land between issue instants).
+func (p *Port) Fire(*sim.Engine) {
+	p.wakePending = false
+	p.tryIssue()
+}
+
+// wakeUp is the bank-slot callback target (Controller.WaitBank): the
+// armed wait is consumed, so the pending flag clears first.
+func (p *Port) wakeUp() {
+	p.wakePending = false
+	p.tryIssue()
+}
 
 // Start arms the port's issue loop.
 func (p *Port) Start() { p.eng.ScheduleHandler(0, p) }
@@ -162,9 +214,10 @@ func (p *Port) nextOp() (addr uint64, write, ok bool) {
 
 // tryIssue is the issue loop body; it is idempotent and safe to call
 // from any wakeup source (pacing timer, tag release, write ack, bank
-// slot).
+// slot). It never clears wakePending itself: the event/callback entry
+// points (Fire, wakeUp) do, so a tryIssue driven by a completion
+// cannot shadow an already-armed pacing event.
 func (p *Port) tryIssue() {
-	p.wakePending = false
 	if p.stopped {
 		return
 	}
@@ -201,7 +254,7 @@ func (p *Port) tryIssue() {
 		p.tagsInUse++
 		p.ctrl.Submit(hmc.Request{Addr: addr, Size: p.cfg.Size, Port: p.id}, p.readDone)
 	}
-	p.nextIssue = now + p.ctrl.Params().Cycle()
+	p.nextIssue = now + p.interval
 	p.armRetry(p.nextIssue)
 }
 

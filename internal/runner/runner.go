@@ -14,6 +14,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"hmcsim/internal/sim"
 )
 
 // Config tunes a pool run.
@@ -127,11 +129,5 @@ feed:
 // completion order. Experiments use it to give each sweep cell its
 // own stream while staying reproducible from one user-facing seed.
 func CellSeed(base uint64, i int) uint64 {
-	x := base ^ (uint64(i)+1)*0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
+	return sim.Mix64(base ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
 }

@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"fmt"
+
+	"hmcsim/internal/runner"
+)
+
+// describeTenant renders the tenant's traffic shape for reports.
+func describeTenant(t Tenant) (mix, access, inject string) {
+	t = t.withDefaults()
+	mix = t.Mix
+	if t.Mix == "mix" {
+		mix = fmt.Sprintf("mix %.0f/%.0f", t.ReadFraction*100, (1-t.ReadFraction)*100)
+	}
+	access = t.Access.Kind
+	if t.Pattern != "" && t.Pattern != "full" {
+		access += " @ " + t.Pattern
+	}
+	inject = "closed"
+	if t.Inject.Mode == "open" {
+		inject = fmt.Sprintf("open %.1fM/s", t.Inject.RateMRPS)
+	} else if t.Inject.Outstanding > 0 {
+		inject = fmt.Sprintf("closed w=%d", t.Inject.Outstanding)
+	}
+	return mix, access, inject
+}
+
+// Report renders the run as the runner's structured report shape, so
+// scenarios share the text/CSV/JSON sinks with every figure.
+func (r Result) Report() runner.Report {
+	f1 := func(v float64) string { return fmt.Sprintf("%.1f", v) }
+	f2 := func(v float64) string { return fmt.Sprintf("%.2f", v) }
+	f0 := func(v float64) string { return fmt.Sprintf("%.0f", v) }
+	g := runner.Grid{
+		Title: "Per-tenant traffic and totals",
+		Cols: []string{"Tenant", "Ports", "Mix", "Access", "Inject", "Size",
+			"Raw GB/s", "Data GB/s", "MRPS", "Lat avg ns", "Lat max ns"},
+	}
+	for i, ts := range r.Tenants {
+		t := r.Spec.Tenants[i].withDefaults()
+		mix, access, inject := describeTenant(t)
+		latAvg, latMax := "-", "-"
+		if ts.ReadLatencyNs.N() > 0 {
+			latAvg, latMax = f0(ts.ReadLatencyNs.Mean()), f0(ts.ReadLatencyNs.Max())
+		}
+		g.AddRow(ts.Name, fmt.Sprintf("%d", t.Ports), mix, access, inject,
+			fmt.Sprintf("%d", t.Size), f2(ts.RawGBps), f2(ts.DataGBps),
+			f1(ts.MRPS), latAvg, latMax)
+	}
+	if len(r.Tenants) > 1 {
+		latAvg, latMax := "-", "-"
+		if r.Total.ReadLatencyNs.N() > 0 {
+			latAvg, latMax = f0(r.Total.ReadLatencyNs.Mean()), f0(r.Total.ReadLatencyNs.Max())
+		}
+		g.AddRow("total", "", "", "", "", "", f2(r.Total.RawGBps),
+			f2(r.Total.DataGBps), f1(r.Total.MRPS), latAvg, latMax)
+	}
+	topo := r.Spec.Topology
+	if topo == "" {
+		topo = "single"
+	}
+	if topo != "single" {
+		cubes := r.Spec.Cubes
+		if cubes == 0 {
+			cubes = 4
+		}
+		topo = fmt.Sprintf("%s of %d cubes", topo, cubes)
+	}
+	return runner.Report{
+		ID:    "scn-" + r.Spec.Name,
+		Title: fmt.Sprintf("Scenario %q: %s", r.Spec.Name, r.Spec.Description),
+		Grids: []runner.Grid{g},
+		Notes: []string{fmt.Sprintf("topology: %s; measured window %.0f us (warmup discarded)",
+			topo, r.Elapsed.Microseconds())},
+	}
+}

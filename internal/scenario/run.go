@@ -1,0 +1,382 @@
+package scenario
+
+import (
+	"fmt"
+
+	"hmcsim/internal/chain"
+	"hmcsim/internal/fpga"
+	"hmcsim/internal/gups"
+	"hmcsim/internal/hmc"
+	"hmcsim/internal/sim"
+	"hmcsim/internal/stats"
+	"hmcsim/internal/workloads"
+)
+
+// Options bound a scenario run. The zero value selects the figure
+// runs' publication-fidelity windows.
+type Options struct {
+	// Warmup is discarded simulated time before measurement
+	// (default 150 us).
+	Warmup sim.Duration
+	// Measure is the measured window (default 800 us).
+	Measure sim.Duration
+	// Seed perturbs every tenant's random streams.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Warmup == 0 {
+		o.Warmup = 150 * sim.Microsecond
+	}
+	if o.Measure == 0 {
+		o.Measure = 800 * sim.Microsecond
+	}
+	return o
+}
+
+// TenantStats aggregates one tenant's measured traffic.
+type TenantStats struct {
+	Name   string
+	Reads  uint64
+	Writes uint64
+	// RawGBps includes request/response headers and tails (the
+	// quantity the paper's bandwidth figures report); DataGBps is
+	// payload only.
+	RawGBps, DataGBps float64
+	// MRPS is million requests (reads+writes) per second.
+	MRPS float64
+	// ReadLatencyNs summarizes measured read round trips.
+	ReadLatencyNs stats.Summary
+}
+
+// monAccum folds port monitors with integer arithmetic, deferring
+// the rate divisions to one final step — the same order of float
+// operations the GUPS runner uses, so a scenario that reduces to a
+// GUPS config reproduces its numbers bit-for-bit.
+type monAccum struct {
+	reads, writes       uint64
+	dataBytes, rawBytes uint64
+	lat                 stats.Summary
+}
+
+func (a *monAccum) add(m gups.Monitor) {
+	a.reads += m.Reads
+	a.writes += m.Writes
+	a.dataBytes += m.DataBytes
+	a.rawBytes += m.RawBytes
+	a.lat.Merge(m.ReadLatencyNs)
+}
+
+func (a monAccum) stats(name string, secs float64) TenantStats {
+	return TenantStats{
+		Name:          name,
+		Reads:         a.reads,
+		Writes:        a.writes,
+		RawGBps:       float64(a.rawBytes) / secs / 1e9,
+		DataGBps:      float64(a.dataBytes) / secs / 1e9,
+		MRPS:          float64(a.reads+a.writes) / secs / 1e6,
+		ReadLatencyNs: a.lat,
+	}
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	Spec    Spec
+	Elapsed sim.Duration
+	Tenants []TenantStats
+	// Total folds every tenant together.
+	Total TenantStats
+}
+
+// Run compiles and executes a scenario.
+func Run(spec Spec, o Options) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	spec = spec.withDefaults()
+	o = o.withDefaults()
+	if spec.Warmup != 0 {
+		o.Warmup = spec.Warmup
+	}
+	if spec.Measure != 0 {
+		o.Measure = spec.Measure
+	}
+	if spec.Topology == "single" {
+		return runSingle(spec, o)
+	}
+	return runChain(spec, o)
+}
+
+// MustRun is Run that panics on spec errors (tests, examples).
+func MustRun(spec Spec, o Options) Result {
+	r, err := Run(spec, o)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// portConfigs lowers the tenants onto per-port GUPS configs, using
+// the same seed and linear-start derivations as the full-scale GUPS
+// rig so a single-tenant uniform scenario reproduces its numbers
+// byte-identically.
+func portConfigs(spec Spec, seed uint64) ([]gups.PortConfig, []int, error) {
+	var pcs []gups.PortConfig
+	var owner []int // port index -> tenant index
+	gi := 0
+	for ti, t := range spec.Tenants {
+		ty, err := t.reqType()
+		if err != nil {
+			return nil, nil, err
+		}
+		mode, err := gups.ModeByName(t.Access.Kind)
+		if err != nil {
+			return nil, nil, err
+		}
+		iv, err := t.issueInterval()
+		if err != nil {
+			return nil, nil, err
+		}
+		var zeroMask uint64
+		if t.Pattern != "" && t.Pattern != "full" {
+			p, err := workloads.ByName(t.Pattern)
+			if err != nil {
+				return nil, nil, err
+			}
+			zeroMask = p.ZeroMask
+		}
+		for k := 0; k < t.Ports; k++ {
+			pcs = append(pcs, gups.PortConfig{
+				Type:          ty,
+				Size:          t.Size,
+				Mode:          mode,
+				ReadFraction:  t.ReadFraction,
+				ZeroMask:      zeroMask,
+				Seed:          gups.PortSeed(seed, gi),
+				LinearStart:   gups.PortLinearStart(gi),
+				ZipfTheta:     t.Access.ZipfTheta,
+				HotFraction:   t.Access.HotFraction,
+				HotRate:       t.Access.HotRate,
+				StrideBytes:   t.Access.StrideBytes,
+				JumpEvery:     t.Access.JumpEvery,
+				IssueInterval: iv,
+				Outstanding:   t.Inject.Outstanding,
+			})
+			owner = append(owner, ti)
+			gi++
+		}
+	}
+	return pcs, owner, nil
+}
+
+// runSingle executes a scenario on one cube behind the AC-510
+// controller: every tenant's ports share the device, contending for
+// links, vaults and banks exactly as nine GUPS ports do.
+func runSingle(spec Spec, o Options) (Result, error) {
+	pcs, owner, err := portConfigs(spec, o.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	base := gups.Config{Seed: o.Seed, Warmup: o.Warmup, Measure: o.Measure}
+	if n := len(pcs); n > fpga.DefaultParams().Ports {
+		fp := fpga.DefaultParams()
+		fp.Ports = n
+		base.FPGAParams = &fp
+	}
+	rig, err := gups.BuildRigPorts(base, pcs)
+	if err != nil {
+		return Result{}, err
+	}
+	horizon := o.Warmup + o.Measure
+	if spec.Refresh {
+		rig.Dev.StartRefresh(horizon, false)
+	}
+	for _, p := range rig.Ports {
+		p.Start()
+	}
+	rig.Eng.RunUntil(o.Warmup)
+	for _, p := range rig.Ports {
+		p.ResetMonitor()
+		p.SetMeasuring(true)
+	}
+	rig.Eng.RunUntil(horizon)
+
+	res := Result{Spec: spec, Elapsed: o.Measure}
+	secs := o.Measure.Seconds()
+	accums := make([]monAccum, len(spec.Tenants))
+	var total monAccum
+	for pi, p := range rig.Ports {
+		m := p.Monitor()
+		accums[owner[pi]].add(m)
+		total.add(m)
+	}
+	for i, a := range accums {
+		res.Tenants = append(res.Tenants, a.stats(spec.Tenants[i].Name, secs))
+	}
+	res.Total = total.stats("total", secs)
+	return res, nil
+}
+
+// chainTenant is one tenant's closed-loop injector over a multi-cube
+// network: Outstanding*Ports requests in flight, addresses from the
+// tenant's generator over the global address space.
+type chainTenant struct {
+	nw       *chain.Network
+	eng      *sim.Engine
+	gen      *gups.AddrGen
+	mixRNG   *sim.RNG
+	readFrac float64
+	write    bool
+	mixed    bool
+	size     int
+	window   int
+	inFlight int
+	capacity uint64
+	// reject redraws addresses beyond capacity instead of folding
+	// them with a modulo: the generator space is the next power of
+	// two, and a modulo would hit the low cubes twice as often when
+	// the cube count is not a power of two. Random-draw modes use
+	// rejection (valid fraction > 1/2, so expected < 2 draws);
+	// deterministic cursor walks wrap with the modulo instead, since
+	// rejection could spin through the whole dead zone.
+	reject  bool
+	horizon sim.Time
+
+	measuring bool
+	mon       gups.Monitor
+
+	pump   func()
+	onRead func(chain.Result)
+	onWr   func(chain.Result)
+}
+
+func (c *chainTenant) done(r chain.Result, write bool) {
+	c.inFlight--
+	if c.measuring && !r.Err {
+		if write {
+			c.mon.Writes++
+			c.mon.RawBytes += uint64(hmc.TransactionBytes(hmc.CmdWrite, c.size))
+		} else {
+			c.mon.Reads++
+			c.mon.RawBytes += uint64(hmc.TransactionBytes(hmc.CmdRead, c.size))
+			c.mon.ReadLatencyNs.Add(r.Latency().Nanoseconds())
+		}
+		c.mon.DataBytes += uint64(c.size)
+	}
+	c.pump()
+}
+
+func (c *chainTenant) issue() {
+	for c.inFlight < c.window && c.eng.Now() < c.horizon {
+		addr := c.gen.Next()
+		if c.reject {
+			for addr >= c.capacity {
+				addr = c.gen.Next()
+			}
+		} else {
+			addr %= c.capacity
+		}
+		write := c.write
+		if c.mixed {
+			write = c.mixRNG.Float64() >= c.readFrac
+		}
+		c.inFlight++
+		done := c.onRead
+		if write {
+			done = c.onWr
+		}
+		c.nw.Access(c.eng.Now(), addr, c.size, write, done)
+	}
+}
+
+// nextPow2 returns the smallest power of two >= v.
+func nextPow2(v uint64) uint64 {
+	p := uint64(1)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// runChain executes a scenario over a chain or ring of cubes.
+func runChain(spec Spec, o Options) (Result, error) {
+	topo := chain.Chain
+	if spec.Topology == "ring" {
+		topo = chain.Ring
+	}
+	eng := sim.NewEngine()
+	nw, err := chain.NewNetwork(eng, spec.Cubes, topo, chain.DefaultParams())
+	if err != nil {
+		return Result{}, err
+	}
+	horizon := o.Warmup + o.Measure
+	tenants := make([]*chainTenant, len(spec.Tenants))
+	for ti, t := range spec.Tenants {
+		ty, err := t.reqType()
+		if err != nil {
+			return Result{}, err
+		}
+		mode, err := gups.ModeByName(t.Access.Kind)
+		if err != nil {
+			return Result{}, err
+		}
+		window := t.Inject.Outstanding
+		if window == 0 {
+			window = 64
+		}
+		ct := &chainTenant{
+			nw:  nw,
+			eng: eng,
+			gen: gups.NewAddrGenParams(gups.GenParams{
+				Mode: mode, Size: t.Size,
+				CapMask:     nextPow2(nw.CapacityBytes()) - 1,
+				Seed:        gups.PortSeed(o.Seed, ti),
+				LinearStart: gups.PortLinearStart(ti),
+				ZipfTheta:   t.Access.ZipfTheta,
+				HotFraction: t.Access.HotFraction,
+				HotRate:     t.Access.HotRate,
+				StrideBytes: t.Access.StrideBytes,
+				JumpEvery:   t.Access.JumpEvery,
+			}),
+			mixRNG:   sim.NewRNG(gups.PortSeed(o.Seed, ti) ^ 0xa5a5a5a5),
+			readFrac: t.ReadFraction,
+			write:    ty == gups.WriteOnly,
+			mixed:    ty == gups.Mixed,
+			size:     t.Size,
+			window:   window * t.Ports,
+			capacity: nw.CapacityBytes(),
+			reject:   mode == gups.Random || mode == gups.Zipfian || mode == gups.Hotspot,
+			horizon:  horizon,
+		}
+		ct.pump = ct.issue
+		ct.onRead = func(r chain.Result) { ct.done(r, false) }
+		ct.onWr = func(r chain.Result) { ct.done(r, true) }
+		tenants[ti] = ct
+		eng.Schedule(0, ct.pump)
+	}
+	eng.RunUntil(o.Warmup)
+	for _, ct := range tenants {
+		ct.mon = gups.Monitor{}
+		ct.measuring = true
+	}
+	eng.RunUntil(horizon)
+
+	res := Result{Spec: spec, Elapsed: o.Measure}
+	secs := o.Measure.Seconds()
+	var total monAccum
+	for ti, ct := range tenants {
+		var a monAccum
+		a.add(ct.mon)
+		total.add(ct.mon)
+		res.Tenants = append(res.Tenants, a.stats(spec.Tenants[ti].Name, secs))
+	}
+	res.Total = total.stats("total", secs)
+	return res, nil
+}
+
+// String renders a one-line summary of the run.
+func (r Result) String() string {
+	return fmt.Sprintf("%s (%s, %d tenants): %.2f GB/s raw, %.1f MRPS, read lat avg %.0f ns",
+		r.Spec.Name, r.Spec.Topology, len(r.Tenants), r.Total.RawGBps, r.Total.MRPS,
+		r.Total.ReadLatencyNs.Mean())
+}

@@ -1,0 +1,314 @@
+// Package scenario turns the paper's Section IV-A access-pattern
+// taxonomy into declarative, composable workload scenarios: a Spec
+// names a topology, a measurement window, and a set of tenants, each
+// with its own request mix, address distribution, footprint pattern
+// and injection mode. The compiler lowers a Spec onto the existing
+// simulation stack — per-tenant GUPS ports sharing one cube, or
+// closed-loop injectors over a multi-cube chain — and reports
+// per-tenant and aggregate bandwidth/latency statistics.
+//
+// A Spec is data, not code: every future "imagined workload" is a
+// ten-line literal instead of a new package. Builtin() holds the
+// named library the CLIs and the experiment registry expose.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"hmcsim/internal/gups"
+	"hmcsim/internal/hmc"
+	"hmcsim/internal/sim"
+	"hmcsim/internal/workloads"
+)
+
+// Injection selects how a tenant's ports issue requests.
+type Injection struct {
+	// Mode is "closed" (default: issue as fast as the hardware
+	// admits, bounded by tag pool / write FIFO) or "open" (fixed
+	// arrival rate per port, still subject to the tag pool).
+	Mode string
+	// RateMRPS is the open-loop arrival rate per port in million
+	// requests per second; required when Mode is "open".
+	RateMRPS float64
+	// Outstanding caps the closed-loop window per port below the
+	// hardware depths (0 = full tag pool / write FIFO).
+	Outstanding int
+}
+
+// Access selects a tenant's address distribution.
+type Access struct {
+	// Kind names the generator: "uniform" (default), "linear",
+	// "zipfian", "hotspot", "strided" or "seqjump".
+	Kind string
+	// ZipfTheta is the zipfian skew in (0,1); 0 selects 0.99.
+	ZipfTheta float64
+	// HotFraction/HotRate shape the hotspot generator; 0 selects
+	// 0.1 / 0.9.
+	HotFraction, HotRate float64
+	// StrideBytes is the strided advance; 0 selects 8x request size.
+	StrideBytes uint64
+	// JumpEvery is the seqjump run length; 0 selects 32.
+	JumpEvery int
+}
+
+// Tenant is one traffic source: a named slice of the generator's
+// ports with its own mix, distribution and injection discipline.
+type Tenant struct {
+	// Name labels the tenant in reports.
+	Name string
+	// Ports is the number of generator ports the tenant drives
+	// (default 1). On a chain topology it scales the tenant's
+	// outstanding-request window instead.
+	Ports int
+	// Mix is the request mix: "ro" (default), "wo", "rw" or "mix".
+	Mix string
+	// ReadFraction is the read share for Mix == "mix" (default 0.5).
+	ReadFraction float64
+	// Size is the request payload in bytes (default 128).
+	Size int
+	// Pattern confines the footprint to a named access pattern from
+	// the paper's taxonomy ("16 vaults", "1 bank", ...); "" or
+	// "full" is the whole device. Single-cube topologies only.
+	Pattern string
+	// Access selects the address distribution.
+	Access Access
+	// Inject selects the injection discipline.
+	Inject Injection
+}
+
+// Spec is one declarative scenario.
+type Spec struct {
+	// Name identifies the scenario (registry key, report title).
+	Name string
+	// Description is the one-line summary shown by listings.
+	Description string
+	// Topology is "single" (default: one cube behind the AC-510
+	// controller), "chain" or "ring" (multi-cube networks).
+	Topology string
+	// Cubes is the chain/ring length (default 4).
+	Cubes int
+	// Refresh enables background DRAM refresh (single-cube only).
+	Refresh bool
+	// Warmup/Measure override the runner's windows when non-zero.
+	Warmup, Measure sim.Duration
+	// Tenants are the concurrent traffic sources (at least one).
+	Tenants []Tenant
+}
+
+func (t Tenant) withDefaults() Tenant {
+	if t.Ports == 0 {
+		t.Ports = 1
+	}
+	if t.Mix == "" {
+		t.Mix = "ro"
+	}
+	if t.Mix == "mix" && t.ReadFraction == 0 {
+		t.ReadFraction = 0.5
+	}
+	if t.Size == 0 {
+		t.Size = 128
+	}
+	if t.Access.Kind == "" {
+		t.Access.Kind = "uniform"
+	}
+	if t.Inject.Mode == "" {
+		t.Inject.Mode = "closed"
+	}
+	return t
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Topology == "" {
+		s.Topology = "single"
+	}
+	if s.Cubes == 0 {
+		s.Cubes = 4
+	}
+	ts := make([]Tenant, len(s.Tenants))
+	for i, t := range s.Tenants {
+		ts[i] = t.withDefaults()
+	}
+	s.Tenants = ts
+	return s
+}
+
+// reqType resolves the tenant mix name.
+func (t Tenant) reqType() (gups.ReqType, error) {
+	switch t.Mix {
+	case "ro":
+		return gups.ReadOnly, nil
+	case "wo":
+		return gups.WriteOnly, nil
+	case "rw":
+		return gups.ReadModifyWrite, nil
+	case "mix":
+		return gups.Mixed, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown mix %q (want ro, wo, rw or mix)", t.Mix)
+}
+
+// issueInterval converts an open-loop rate to the port pacing
+// interval (0 for closed loop).
+func (t Tenant) issueInterval() (sim.Duration, error) {
+	switch t.Inject.Mode {
+	case "closed":
+		return 0, nil
+	case "open":
+		if t.Inject.RateMRPS <= 0 {
+			return 0, fmt.Errorf("scenario: open-loop tenant %q needs RateMRPS > 0", t.Name)
+		}
+		// The kernel clock is picoseconds; rounding there keeps the
+		// realized rate within rounding error of RateMRPS instead of
+		// truncating to whole nanoseconds.
+		iv := sim.Duration(math.Round(1000.0 / t.Inject.RateMRPS * float64(sim.Nanosecond)))
+		if iv < 1 {
+			iv = 1
+		}
+		return iv, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown injection mode %q (want closed or open)", t.Inject.Mode)
+}
+
+// Validate checks a spec without building anything.
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec needs a name")
+	}
+	switch s.Topology {
+	case "single":
+	case "chain", "ring":
+		// chain.NewNetwork's architected limit; reject here so
+		// Validate is a complete pre-flight check.
+		if s.Cubes < 1 || s.Cubes > 8 {
+			return fmt.Errorf("scenario %q: cube count %d outside 1..8", s.Name, s.Cubes)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown topology %q (want single, chain or ring)", s.Topology)
+	}
+	if len(s.Tenants) == 0 {
+		return fmt.Errorf("scenario %q: at least one tenant required", s.Name)
+	}
+	for _, t := range s.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("scenario %q: tenant needs a name", s.Name)
+		}
+		ty, err := t.reqType()
+		if err != nil {
+			return fmt.Errorf("scenario %q tenant %q: %w", s.Name, t.Name, err)
+		}
+		if ty == gups.Mixed && (t.ReadFraction < 0 || t.ReadFraction > 1) {
+			return fmt.Errorf("scenario %q tenant %q: read fraction %v outside [0,1]", s.Name, t.Name, t.ReadFraction)
+		}
+		if t.Ports < 1 {
+			return fmt.Errorf("scenario %q tenant %q: ports %d < 1", s.Name, t.Name, t.Ports)
+		}
+		if !hmc.ValidPayload(t.Size) {
+			return fmt.Errorf("scenario %q tenant %q: invalid request size %d", s.Name, t.Name, t.Size)
+		}
+		if _, err := t.issueInterval(); err != nil {
+			return err
+		}
+		mode, err := gups.ModeByName(t.Access.Kind)
+		if err != nil {
+			return fmt.Errorf("scenario %q tenant %q: %w", s.Name, t.Name, err)
+		}
+		gp := gups.GenParams{
+			Mode: mode, Size: t.Size, ZipfTheta: t.Access.ZipfTheta,
+			HotFraction: t.Access.HotFraction, HotRate: t.Access.HotRate,
+			StrideBytes: t.Access.StrideBytes, JumpEvery: t.Access.JumpEvery,
+		}
+		if err := gp.Validate(); err != nil {
+			return fmt.Errorf("scenario %q tenant %q: %w", s.Name, t.Name, err)
+		}
+		if t.Pattern != "" && t.Pattern != "full" {
+			if s.Topology != "single" {
+				return fmt.Errorf("scenario %q tenant %q: patterns need the single-cube topology", s.Name, t.Name)
+			}
+			if _, err := workloads.ByName(t.Pattern); err != nil {
+				return fmt.Errorf("scenario %q tenant %q: %w", s.Name, t.Name, err)
+			}
+		}
+		if s.Topology != "single" {
+			if ty == gups.ReadModifyWrite {
+				return fmt.Errorf("scenario %q tenant %q: rw mix is not supported on %s topologies", s.Name, t.Name, s.Topology)
+			}
+			if t.Inject.Mode == "open" {
+				return fmt.Errorf("scenario %q tenant %q: open-loop injection is not supported on %s topologies", s.Name, t.Name, s.Topology)
+			}
+		}
+	}
+	if s.Topology != "single" && s.Refresh {
+		return fmt.Errorf("scenario %q: refresh is single-cube only", s.Name)
+	}
+	return nil
+}
+
+// Builtin returns the named scenario library: the default
+// uniform-random GUPS operating point plus the production-style
+// shapes the ROADMAP asks for.
+func Builtin() []Spec {
+	return []Spec{
+		{
+			Name:        "uniform",
+			Description: "Full-scale GUPS: 9 ports, 128 B uniform-random reads (the paper's headline operating point)",
+			Tenants:     []Tenant{{Name: "gups", Ports: 9}},
+		},
+		{
+			Name:        "zipfian",
+			Description: "Zipf-skewed reads (theta 0.99): the serving-cache popularity shape",
+			Tenants:     []Tenant{{Name: "zipf", Ports: 9, Access: Access{Kind: "zipfian", ZipfTheta: 0.99}}},
+		},
+		{
+			Name:        "hotspot",
+			Description: "Hotspot reads: 90% of traffic on 10% of the block space",
+			Tenants:     []Tenant{{Name: "hot", Ports: 9, Access: Access{Kind: "hotspot", HotFraction: 0.1, HotRate: 0.9}}},
+		},
+		{
+			Name:        "mixed-rw",
+			Description: "Independent 70/30 read/write mix, uniform addresses",
+			Tenants:     []Tenant{{Name: "mix", Ports: 9, Mix: "mix", ReadFraction: 0.7}},
+		},
+		{
+			Name:        "seqjump",
+			Description: "Sequential scans with a random jump every 32 requests (log segments)",
+			Tenants:     []Tenant{{Name: "scan", Ports: 9, Access: Access{Kind: "seqjump", JumpEvery: 32}}},
+		},
+		{
+			Name:        "open-loop",
+			Description: "Uniform reads injected open-loop at 2 MRPS per port (unsaturated latency probe)",
+			Tenants: []Tenant{{
+				Name: "probe", Ports: 9,
+				Inject: Injection{Mode: "open", RateMRPS: 2},
+			}},
+		},
+		{
+			Name:        "tenants-4",
+			Description: "Four tenants sharing one cube: linear stream, zipfian cache, hotspot mix, bulk writer",
+			Tenants: []Tenant{
+				{Name: "stream", Ports: 2, Access: Access{Kind: "linear"}},
+				{Name: "cache", Ports: 3, Access: Access{Kind: "zipfian"}},
+				{Name: "hot-mix", Ports: 2, Mix: "mix", ReadFraction: 0.7, Access: Access{Kind: "hotspot"}},
+				{Name: "bulk-write", Ports: 2, Mix: "wo"},
+			},
+		},
+		{
+			Name:        "chain-4",
+			Description: "Four-cube daisy chain under uniform closed-loop reads (64 outstanding per tenant port)",
+			Topology:    "chain",
+			Cubes:       4,
+			Tenants:     []Tenant{{Name: "host", Ports: 4, Inject: Injection{Outstanding: 64}}},
+		},
+	}
+}
+
+// ByName finds a builtin scenario.
+func ByName(name string) (Spec, error) {
+	for _, s := range Builtin() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown scenario %q", name)
+}

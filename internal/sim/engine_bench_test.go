@@ -105,3 +105,25 @@ func BenchmarkDelivererDeliver(b *testing.B) {
 		e.Step()
 	}
 }
+
+// TestScheduleHandlerZeroAlloc is the allocation-regression guard for
+// the hot path: scheduling and firing a Handler at steady state must
+// not allocate. CI also runs the benchmarks above with -benchmem and
+// rejects any "allocs/op" regression on the Handler path.
+func TestScheduleHandlerZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	h := &benchHandler{}
+	// Prime the queue so the backing slice has settled capacity.
+	for i := 0; i < 64; i++ {
+		e.ScheduleHandler(Duration(i), h)
+	}
+	for e.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.ScheduleHandler(1, h)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("Handler schedule path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"math"
+	"sync"
+)
+
+// zetaCache memoizes Zeta per (n, theta): every port of a zipfian
+// traffic source shares the same constants, and the exact-sum loop
+// below is ~2^20 math.Pow calls — far too hot to repeat per port.
+var zetaCache sync.Map // zetaKey -> float64
+
+type zetaKey struct {
+	n     uint64
+	theta float64
+}
+
+// Zeta computes the generalized harmonic number sum 1/i^theta for
+// i in [1, n], capping the exact sum and extending with the integral
+// approximation beyond (error < 1e-6 for practical theta).
+func Zeta(n uint64, theta float64) float64 {
+	key := zetaKey{n, theta}
+	if v, ok := zetaCache.Load(key); ok {
+		return v.(float64)
+	}
+	const exact = 1 << 20
+	m := n
+	if m > exact {
+		m = exact
+	}
+	sum := 0.0
+	for i := uint64(1); i <= m; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	if n > m {
+		sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(m), 1-theta)) / (1 - theta)
+	}
+	zetaCache.Store(key, sum)
+	return sum
+}
+
+// Zipf maps uniform draws to Zipf-distributed ranks over [1, n] via
+// Gray's method ("Quickly generating billion-record synthetic
+// databases"). Theta in (0,1) controls skew; rank 1 is hottest. The
+// caller supplies the uniform draws, so one Zipf can serve any number
+// of independently seeded streams.
+type Zipf struct {
+	n                        uint64
+	theta, alpha, zetan, eta float64
+}
+
+// NewZipf precomputes the Gray's-method constants for n items.
+func NewZipf(n uint64, theta float64) *Zipf {
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = Zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - Zeta(2, theta)/z.zetan)
+	return z
+}
+
+// Rank maps a uniform u in [0, 1) to a rank in [1, n].
+func (z *Zipf) Rank(u float64) uint64 {
+	uz := u * z.zetan
+	if uz < 1 {
+		return 1
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 2
+	}
+	r := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r < 1 {
+		r = 1
+	}
+	if r > z.n {
+		r = z.n
+	}
+	return r
+}
+
+// Mix64 is the splitmix64 finalizer: a bijective bit mixer used to
+// scatter ranks or indices over a space without the gcd artifacts of
+// a plain multiplicative hash (which collapses the image whenever
+// gcd(multiplier, modulus) > 1).
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,46 @@
+package sim
+
+import "testing"
+
+func TestZipfRankBounds(t *testing.T) {
+	z := NewZipf(1000, 0.99)
+	rng := NewRNG(1)
+	counts := map[uint64]int{}
+	for i := 0; i < 10000; i++ {
+		r := z.Rank(rng.Float64())
+		if r < 1 || r > 1000 {
+			t.Fatalf("rank %d out of [1,1000]", r)
+		}
+		counts[r]++
+	}
+	if counts[1] <= counts[500] {
+		t.Errorf("rank 1 (%d draws) should dominate rank 500 (%d draws)", counts[1], counts[500])
+	}
+}
+
+func TestZetaCachedAndIncreasing(t *testing.T) {
+	small := Zeta(1<<10, 0.9)
+	again := Zeta(1<<10, 0.9)
+	if small != again {
+		t.Error("cached zeta differs from first computation")
+	}
+	if large := Zeta(1<<12, 0.9); !(large > small && small > 0) {
+		t.Errorf("zeta not increasing: %v vs %v", small, large)
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Distinct small inputs must map to distinct outputs (the mixer
+	// is a bijection on uint64; collisions would break rank scatter).
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		m := Mix64(i)
+		if seen[m] {
+			t.Fatalf("Mix64 collision at %d", i)
+		}
+		seen[m] = true
+	}
+	if Mix64(0) == 0 && Mix64(1) == 1 {
+		t.Error("Mix64 looks like identity")
+	}
+}

@@ -10,7 +10,6 @@ package trace
 
 import (
 	"fmt"
-	"math"
 
 	"hmcsim/internal/sim"
 )
@@ -66,6 +65,7 @@ func (g *StrideGen) Next() (Access, bool) {
 // ish, 0.99 is highly skewed.
 type ZipfGen struct {
 	rng   *sim.RNG
+	zipf  *sim.Zipf
 	n     uint64
 	size  int
 	base  uint64
@@ -73,8 +73,6 @@ type ZipfGen struct {
 	write bool
 
 	emitted int
-	// Gray's method constants.
-	alpha, zetan, eta, theta float64
 }
 
 // NewZipfGen builds a Zipf generator over n blocks of the given size
@@ -86,66 +84,20 @@ func NewZipfGen(seed uint64, n uint64, theta float64, size int, base uint64, cou
 	if theta <= 0 || theta >= 1 {
 		return nil, fmt.Errorf("trace: zipf theta %v outside (0,1)", theta)
 	}
-	g := &ZipfGen{
-		rng: sim.NewRNG(seed), n: n, size: size, base: base, count: count,
-		write: write, theta: theta,
-	}
-	g.zetan = zeta(n, theta)
-	zeta2 := zeta(2, theta)
-	g.alpha = 1.0 / (1.0 - theta)
-	g.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta2/g.zetan)
-	return g, nil
-}
-
-// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta,
-// capping the exact sum at a million terms and extending with the
-// integral approximation beyond (error < 1e-6 for practical theta).
-func zeta(n uint64, theta float64) float64 {
-	const exact = 1 << 20
-	m := n
-	if m > exact {
-		m = exact
-	}
-	sum := 0.0
-	for i := uint64(1); i <= m; i++ {
-		sum += 1 / math.Pow(float64(i), theta)
-	}
-	if n > m {
-		// Integral of x^-theta from m to n.
-		sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(m), 1-theta)) / (1 - theta)
-	}
-	return sum
-}
-
-// rank draws a Zipf rank in [1, n] (rank 1 is hottest).
-func (g *ZipfGen) rank() uint64 {
-	u := g.rng.Float64()
-	uz := u * g.zetan
-	if uz < 1 {
-		return 1
-	}
-	if uz < 1+math.Pow(0.5, g.theta) {
-		return 2
-	}
-	r := uint64(float64(g.n) * math.Pow(g.eta*u-g.eta+1, g.alpha))
-	if r < 1 {
-		r = 1
-	}
-	if r > g.n {
-		r = g.n
-	}
-	return r
+	return &ZipfGen{
+		rng: sim.NewRNG(seed), zipf: sim.NewZipf(n, theta),
+		n: n, size: size, base: base, count: count, write: write,
+	}, nil
 }
 
 // Next implements Generator. Ranks scatter over the address space via
-// a multiplicative hash so that hot blocks do not cluster in one vault.
+// a bit-mixing hash so that hot blocks do not cluster in one vault.
 func (g *ZipfGen) Next() (Access, bool) {
 	if g.count > 0 && g.emitted >= g.count {
 		return Access{}, false
 	}
 	g.emitted++
-	r := g.rank() - 1
-	block := (r * 0x9e3779b97f4a7c15) % g.n
+	block := sim.Mix64(g.zipf.Rank(g.rng.Float64())-1) % g.n
 	return Access{
 		Addr:  g.base + block*uint64(g.size),
 		Size:  g.size,

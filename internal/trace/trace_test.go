@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"hmcsim/internal/sim"
 	"testing"
 	"testing/quick"
 )
@@ -159,8 +160,8 @@ func TestInterleave(t *testing.T) {
 func TestZetaExtension(t *testing.T) {
 	// zeta over a range larger than the exact cap must still be
 	// finite, positive and increasing in n.
-	small := zeta(1<<20, 0.9)
-	large := zeta(1<<24, 0.9)
+	small := sim.Zeta(1<<20, 0.9)
+	large := sim.Zeta(1<<24, 0.9)
 	if !(large > small && small > 0) {
 		t.Fatalf("zeta not increasing: %v vs %v", small, large)
 	}
