@@ -5,10 +5,17 @@
 // Usage:
 //
 //	figures [-out results] [-id figure7] [-quick] [-measure-us 800]
-//	        [-workers N] [-progress]
+//	        [-workers N] [-progress] [-cpuprofile cpu.pprof]
+//	        [-memprofile mem.pprof]
 //
 // Without -id it runs the full registry (Table I-III, Figure 3,
 // Figures 6-18). Ctrl-C cancels the in-flight sweep cleanly.
+//
+// The profile flags capture the whole registry run: the CPU profile
+// stops and both files are written after the last experiment
+// completes, so `go tool pprof` sees every simulation kernel at its
+// steady state. An interrupted or failed run finalizes the profiles
+// for whatever did execute; a flag usage error writes nothing.
 package main
 
 import (
@@ -19,6 +26,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,6 +47,8 @@ func main() {
 	ext := flag.Bool("ext", false, "include the extension experiments (ablations, projections)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	progress := flag.Bool("progress", false, "print per-cell sweep progress")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the registry run")
+	memprofile := flag.String("memprofile", "", "write a heap profile after the registry completes")
 	flag.Parse()
 
 	registry := experiments.All
@@ -99,6 +110,55 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Profiles start only after flag validation, so a usage error
+	// never truncates an existing profile. stopProfiles finalizes
+	// both files; exits below route through it so an interrupted or
+	// failed run still leaves valid (partial-run) profiles behind.
+	// Both profile files are created before any profiling starts, so a
+	// bad path fails here — not after minutes of simulation, and not
+	// leaving the other profile unterminated.
+	var cpuFile, memFile *os.File
+	for _, p := range []struct {
+		path string
+		dst  **os.File
+	}{{*cpuprofile, &cpuFile}, {*memprofile, &memFile}} {
+		if p.path == "" {
+			continue
+		}
+		f, err := os.Create(p.path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		*p.dst = f
+	}
+	stopProfiles := func() {}
+	if cpuFile != nil {
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+	}
+	if memFile != nil {
+		cpuStop := stopProfiles
+		stopProfiles = func() {
+			cpuStop()
+			defer memFile.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+	fail := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
+
 	sinks := runner.Sinks()
 	for _, e := range todo {
 		start := time.Now()
@@ -106,10 +166,10 @@ func main() {
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintln(os.Stderr, "figures: interrupted")
-				os.Exit(130)
+				fail(130)
 			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+			fail(1)
 		}
 		var paths []string
 		for _, s := range sinks {
@@ -123,11 +183,12 @@ func main() {
 			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fail(1)
 			}
 			paths = append(paths, path)
 		}
 		fmt.Printf("%-10s %-55s %8s -> %s\n",
 			e.ID, e.Title, time.Since(start).Round(time.Millisecond), strings.Join(paths, ", "))
 	}
+	stopProfiles()
 }

@@ -12,7 +12,12 @@ import (
 // Config describes one GUPS experiment: a device + controller
 // configuration, a request mix, and a measurement window.
 type Config struct {
-	// Generation selects the device (default HMC11, the AC-510 part).
+	// Generation selects the device. Known quirk: the zero value is
+	// hmc.HMC10 (512 MB, 8 banks/vault), NOT the paper's AC-510 part
+	// (hmc.HMC11: 4 GB, 16 banks/vault) that the docs and the
+	// address-mask tables assume — set Generation explicitly when the
+	// geometry matters. Left as-is so every recorded figure output
+	// stays stable; see README "Performance and known quirks".
 	Generation hmc.Generation
 	// MaxBlock selects the address-mapping mode register (default 128 B).
 	MaxBlock hmc.MaxBlockSize

@@ -1,5 +1,7 @@
 package sim
 
+import "math"
+
 // Handler is a scheduled event target. Pre-allocated Handler values
 // are the engine's fast path: scheduling one costs no allocation,
 // because the event queue stores the interface value inline and a
@@ -28,7 +30,7 @@ type event struct {
 	h   Handler
 }
 
-// before is the strict heap order: timestamp, then scheduling order.
+// before is the strict queue order: timestamp, then scheduling order.
 func (ev event) before(o event) bool {
 	if ev.at != o.at {
 		return ev.at < o.at
@@ -36,17 +38,24 @@ func (ev event) before(o event) bool {
 	return ev.seq < o.seq
 }
 
+// maxTime is the largest representable timestamp, used as the no-limit
+// sentinel for queue pops.
+const maxTime = Time(math.MaxInt64)
+
 // Engine is a deterministic discrete-event simulator. It is not safe
 // for concurrent use; run one Engine per goroutine.
 //
-// The pending-event queue is an index-based binary heap over a
-// value-typed slice: no container/heap interface{} boxing, no
-// per-event heap allocation. Steady-state scheduling through the
-// Handler API performs zero allocations.
+// The pending-event queue is a two-level calendar queue (see calQueue)
+// over a value-typed event slice: near-future events live in a time
+// wheel with O(1) amortized push/pop, far-future events in a small
+// overflow heap. Steady-state scheduling through the Handler API
+// performs zero allocations, and events pop in exact (at, seq) order —
+// identical to the binary-heap kernel this replaced, as the
+// differential tests in this package verify.
 type Engine struct {
 	now       Time
 	seq       uint64
-	events    []event
+	q         calQueue
 	processed uint64
 }
 
@@ -61,7 +70,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending reports the number of scheduled-but-unexecuted events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.q.len() }
 
 // Schedule runs fn after delay simulated time. A negative delay is
 // treated as zero (run at the current timestamp, after events already
@@ -89,75 +98,66 @@ func (e *Engine) AtHandler(t Time, h Handler) {
 		panic("sim: scheduling event in the past")
 	}
 	e.seq++
-	e.push(event{at: t, seq: e.seq, h: h})
+	e.q.push(event{at: t, seq: e.seq, h: h}, e.now)
 }
 
-// push appends ev and sifts it up to its heap position.
-func (e *Engine) push(ev event) {
-	evs := append(e.events, ev)
-	i := len(evs) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !evs[i].before(evs[parent]) {
-			break
-		}
-		evs[i], evs[parent] = evs[parent], evs[i]
-		i = parent
-	}
-	e.events = evs
-}
-
-// pop removes and returns the earliest event.
-func (e *Engine) pop() event {
-	evs := e.events
-	root := evs[0]
-	n := len(evs) - 1
-	evs[0] = evs[n]
-	evs[n] = event{} // release the Handler for GC
-	evs = evs[:n]
-	i := 0
-	for {
-		child := 2*i + 1
-		if child >= n {
-			break
-		}
-		if r := child + 1; r < n && evs[r].before(evs[child]) {
-			child = r
-		}
-		if !evs[child].before(evs[i]) {
-			break
-		}
-		evs[i], evs[child] = evs[child], evs[i]
-		i = child
-	}
-	e.events = evs
-	return root
+// fire advances the clock to ev and executes it.
+func (e *Engine) fire(ev event) {
+	e.now = ev.at
+	e.processed++
+	ev.h.Fire(e)
 }
 
 // Step executes the single next event, advancing the clock to its
 // timestamp. It reports false when no events remain.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	ev, ok := e.q.popLE(maxTime)
+	if !ok {
 		return false
 	}
-	ev := e.pop()
-	e.now = ev.at
-	e.processed++
-	ev.h.Fire(e)
+	e.fire(ev)
 	return true
 }
 
-// Run executes events until the queue is empty.
+// drainBatch executes every remaining event stamped t — including
+// events handlers schedule at t while the batch runs — by bumping the
+// queue's head index, without re-positioning the queue between events.
+// The caller has just fired an event at t.
+func (e *Engine) drainBatch(t Time) {
+	for {
+		at, ok := e.q.headAt()
+		if !ok || at != t {
+			return
+		}
+		ev := e.q.popHead()
+		e.processed++
+		ev.h.Fire(e)
+	}
+}
+
+// Run executes events until the queue is empty, draining each
+// timestamp's batch of events in one pass over the queue head.
 func (e *Engine) Run() {
-	for e.Step() {
+	for {
+		ev, ok := e.q.popLE(maxTime)
+		if !ok {
+			return
+		}
+		e.fire(ev)
+		e.drainBatch(ev.at)
 	}
 }
 
 // RunUntil executes events with timestamps <= deadline, leaving later
 // events pending, and finally advances the clock to deadline.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.events) > 0 && e.events[0].at <= deadline {
-		e.Step()
+	for {
+		ev, ok := e.q.popLE(deadline)
+		if !ok {
+			break
+		}
+		e.fire(ev)
+		e.drainBatch(ev.at)
 	}
 	if e.now < deadline {
 		e.now = deadline

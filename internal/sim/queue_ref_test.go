@@ -1,0 +1,60 @@
+package sim
+
+// refHeap is the engine's previous pending-event queue — the
+// index-based binary heap over a value-typed event slice that the
+// calendar queue replaced. It is kept verbatim in the test package as
+// the reference implementation for the differential tests and the
+// FuzzQueueOrder target: for any interleaving of pushes and pops, the
+// calendar queue must produce the exact (at, seq) pop order this heap
+// produces, which is the order every golden-file regression was
+// recorded against.
+type refHeap struct {
+	events []event
+}
+
+func (r *refHeap) len() int { return len(r.events) }
+
+// push appends ev and sifts it up to its heap position.
+func (r *refHeap) push(ev event) {
+	evs := append(r.events, ev)
+	i := len(evs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !evs[i].before(evs[parent]) {
+			break
+		}
+		evs[i], evs[parent] = evs[parent], evs[i]
+		i = parent
+	}
+	r.events = evs
+}
+
+// pop removes and returns the earliest event.
+func (r *refHeap) pop() event {
+	evs := r.events
+	root := evs[0]
+	n := len(evs) - 1
+	evs[0] = evs[n]
+	evs[n] = event{}
+	evs = evs[:n]
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if c := child + 1; c < n && evs[c].before(evs[child]) {
+			child = c
+		}
+		if !evs[child].before(evs[i]) {
+			break
+		}
+		evs[i], evs[child] = evs[child], evs[i]
+		i = child
+	}
+	r.events = evs
+	return root
+}
+
+// peek reports the earliest pending event without removing it.
+func (r *refHeap) peek() event { return r.events[0] }

@@ -36,12 +36,14 @@ func (s *Summary) Add(x float64) {
 	s.m2 += d * (x - s.mean)
 }
 
-// AddN records the same observation k times (cheap for histograms of
-// identical service times).
+// AddN records the same observation k times in O(1): a run of k
+// identical values is a degenerate summary (mean x, zero variance),
+// so folding it in is a single Merge rather than k Welford updates.
 func (s *Summary) AddN(x float64, k uint64) {
-	for i := uint64(0); i < k; i++ {
-		s.Add(x)
+	if k == 0 {
+		return
 	}
+	s.Merge(Summary{n: k, mean: x, min: x, max: x})
 }
 
 // N reports the number of observations.
@@ -174,22 +176,109 @@ func Littles(ratePerSec, waitSeconds float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) of values using
-// nearest-rank on a sorted copy. It returns 0 for an empty slice.
+// nearest-rank selection. It returns 0 for an empty slice and never
+// mutates its input.
+//
+// The value is found by quickselect on a copy — expected O(n) instead
+// of the O(n log n) full sort this used to pay — and matches the
+// sorted nearest-rank definition exactly. Callers needing several
+// quantiles of one sample should use Percentiles, which sorts once.
 func Percentile(values []float64, p float64) float64 {
 	if len(values) == 0 {
 		return 0
 	}
+	work := append([]float64(nil), values...)
+	return quickselect(work, rankIndex(p, len(work)))
+}
+
+// Percentiles returns the nearest-rank percentiles of values for each
+// p in ps, sorting one copy once — cheaper than repeated Percentile
+// calls from three quantiles up. It returns zeros for an empty slice
+// and never mutates its input.
+func Percentiles(values []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(values) == 0 {
+		return out
+	}
 	sorted := append([]float64(nil), values...)
 	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = sorted[rankIndex(p, len(sorted))]
+	}
+	return out
+}
+
+// rankIndex converts a percentile to its 0-based nearest-rank index
+// in a sorted n-element sample.
+func rankIndex(p float64, n int) int {
 	if p <= 0 {
-		return sorted[0]
+		return 0
 	}
 	if p >= 100 {
-		return sorted[len(sorted)-1]
+		return n - 1
 	}
-	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	rank := int(math.Ceil(p / 100 * float64(n)))
 	if rank < 1 {
 		rank = 1
 	}
-	return sorted[rank-1]
+	return rank - 1
+}
+
+// fless orders float64s exactly as sort.Float64s does: NaNs sort
+// before everything else. Quickselect must use the same order so
+// Percentile and the sort-based Percentiles agree on any input —
+// plain < would also send the Hoare scans past the slice end when
+// the pivot is NaN.
+func fless(a, b float64) bool {
+	return a < b || (math.IsNaN(a) && !math.IsNaN(b))
+}
+
+// quickselect partially orders work so that work[k] holds the k-th
+// smallest element (in fless order), and returns it. Median-of-three
+// pivoting keeps sorted and reverse-sorted inputs off the quadratic
+// path.
+func quickselect(work []float64, k int) float64 {
+	lo, hi := 0, len(work)-1
+	for lo < hi {
+		// Median-of-three pivot, parked at lo.
+		mid := int(uint(lo+hi) >> 1)
+		if fless(work[mid], work[lo]) {
+			work[mid], work[lo] = work[lo], work[mid]
+		}
+		if fless(work[hi], work[lo]) {
+			work[hi], work[lo] = work[lo], work[hi]
+		}
+		if fless(work[hi], work[mid]) {
+			work[hi], work[mid] = work[mid], work[hi]
+		}
+		work[lo], work[mid] = work[mid], work[lo]
+		pivot := work[lo]
+
+		// Hoare partition.
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if !fless(work[i], pivot) {
+					break
+				}
+			}
+			for {
+				j--
+				if !fless(pivot, work[j]) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			work[i], work[j] = work[j], work[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return work[k]
 }

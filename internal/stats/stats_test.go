@@ -2,6 +2,8 @@ package stats
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -195,5 +197,123 @@ func TestPercentile(t *testing.T) {
 	// Percentile must not mutate its input.
 	if v[0] != 5 {
 		t.Fatal("Percentile sorted the caller's slice")
+	}
+}
+
+// Property: quickselect-based Percentile must return exactly the
+// sorted nearest-rank value for any sample and any quantile,
+// including sorted, reversed and heavily duplicated inputs.
+func TestPercentileMatchesSortedRank(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	gen := []func(n int) []float64{
+		func(n int) []float64 {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = r.NormFloat64() * 100
+			}
+			return v
+		},
+		func(n int) []float64 {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = float64(i) // pre-sorted
+			}
+			return v
+		},
+		func(n int) []float64 {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = float64(n - i) // reverse-sorted
+			}
+			return v
+		},
+		func(n int) []float64 {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = float64(r.Intn(3)) // heavy duplicates
+			}
+			return v
+		},
+	}
+	ps := []float64{-5, 0, 1, 25, 50, 90, 95, 99, 99.9, 100, 120}
+	for gi, g := range gen {
+		for _, n := range []int{1, 2, 3, 7, 100, 1001} {
+			v := g(n)
+			sorted := append([]float64(nil), v...)
+			sort.Float64s(sorted)
+			for _, p := range ps {
+				want := sorted[rankIndex(p, n)]
+				if got := Percentile(v, p); got != want {
+					t.Fatalf("gen %d n=%d p=%v: quickselect %v, sorted rank %v", gi, n, p, got, want)
+				}
+			}
+			if got := Percentiles(v, ps...); len(got) != len(ps) {
+				t.Fatalf("Percentiles returned %d values for %d quantiles", len(got), len(ps))
+			} else {
+				for i, p := range ps {
+					if got[i] != sorted[rankIndex(p, n)] {
+						t.Fatalf("gen %d n=%d Percentiles[%v] = %v, want %v", gi, n, p, got[i], sorted[rankIndex(p, n)])
+					}
+				}
+			}
+		}
+	}
+}
+
+// NaN inputs must not panic and must match sort.Float64s semantics
+// (NaNs rank first), keeping Percentile and Percentiles in agreement.
+func TestPercentileNaN(t *testing.T) {
+	v := []float64{math.NaN(), 1, 2, math.NaN(), 3}
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	for _, p := range []float64{0, 10, 50, 90, 100} {
+		want := sorted[rankIndex(p, len(v))]
+		got := Percentile(v, p)
+		if math.IsNaN(want) != math.IsNaN(got) || (!math.IsNaN(want) && got != want) {
+			t.Fatalf("p%v = %v, want %v", p, got, want)
+		}
+		if ps := Percentiles(v, p); math.IsNaN(want) != math.IsNaN(ps[0]) || (!math.IsNaN(want) && ps[0] != want) {
+			t.Fatalf("Percentiles p%v = %v, want %v", p, ps[0], want)
+		}
+	}
+}
+
+func TestPercentilesEmptyAndNoMutate(t *testing.T) {
+	if got := Percentiles(nil, 50, 99); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty Percentiles = %v", got)
+	}
+	v := []float64{9, 1, 5}
+	Percentiles(v, 10, 90)
+	if v[0] != 9 || v[2] != 5 {
+		t.Fatal("Percentiles sorted the caller's slice")
+	}
+}
+
+// AddN's closed-form merge must agree with k repeated Adds on every
+// statistic, not just the mean, and compose with later observations.
+func TestSummaryAddNClosedForm(t *testing.T) {
+	var a, b Summary
+	a.Add(2)
+	b.Add(2)
+	a.AddN(7.5, 1000)
+	for i := 0; i < 1000; i++ {
+		b.Add(7.5)
+	}
+	a.Add(-4)
+	b.Add(-4)
+	if a.N() != b.N() || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Fatalf("AddN bookkeeping: %v vs %v", a, b)
+	}
+	if !approx(a.Mean(), b.Mean(), 1e-12) {
+		t.Fatalf("AddN mean %v, repeated Add %v", a.Mean(), b.Mean())
+	}
+	if !approx(a.Variance(), b.Variance(), 1e-9) {
+		t.Fatalf("AddN variance %v, repeated Add %v", a.Variance(), b.Variance())
+	}
+	// k=0 must be a no-op, even on an empty summary.
+	var zero Summary
+	zero.AddN(3, 0)
+	if zero.N() != 0 || zero.Mean() != 0 {
+		t.Fatalf("AddN(x, 0) mutated an empty summary: %v", zero)
 	}
 }

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# bench.sh — the repo's benchmark + artifact pipeline.
+#
+# Runs the simulation-kernel microbenchmarks and the table/figure
+# reproduction benchmarks, times a full-registry `cmd/figures -quick`
+# pass, and writes:
+#
+#   $OUT/kernel.txt         raw `go test -bench` output for the kernel
+#                           (benchstat-comparable; feed two of these to
+#                           `benchstat old.txt new.txt`)
+#   $OUT/figures_bench.txt  raw output for the table/figure benchmarks
+#   $OUT/BENCH_kernel.json  machine-readable summary: per-benchmark
+#                           ns/op, B/op, allocs/op plus the figures
+#                           wall time and build metadata
+#
+# Usage: scripts/bench.sh [-quick] [-out DIR]
+#
+#   -quick   CI mode: single short pass, subset of figure benchmarks
+#   -out     output directory (default: bench)
+#
+# Every perf PR should attach a BENCH_kernel.json (CI uploads one per
+# run) so the kernel's trajectory stays measured, not anecdotal; the
+# committed bench/BENCH_kernel.json holds the latest full-mode numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+out="bench"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -quick) quick=1 ;;
+    -out)
+      [ $# -ge 2 ] || { echo "usage: $0 [-quick] [-out DIR]" >&2; exit 2; }
+      out="$2"; shift ;;
+    *) echo "usage: $0 [-quick] [-out DIR]" >&2; exit 2 ;;
+  esac
+  shift
+done
+mkdir -p "$out"
+
+kernel_bench='BenchmarkEngine|BenchmarkDeliverer'
+if [ "$quick" = 1 ]; then
+  kernel_time=20000x
+  kernel_count=1
+  fig_bench='^(BenchmarkTableI|BenchmarkFigure7|BenchmarkFigure14)$'
+else
+  kernel_time=1s
+  kernel_count=3
+  fig_bench='.'
+fi
+
+echo "== kernel benchmarks (benchtime $kernel_time, count $kernel_count)"
+go test ./internal/sim -run '^$' -bench "$kernel_bench" \
+  -benchtime "$kernel_time" -count "$kernel_count" -benchmem \
+  | tee "$out/kernel.txt"
+
+echo "== table/figure benchmarks"
+go test . -run '^$' -bench "$fig_bench" -benchtime 1x -benchmem \
+  | tee "$out/figures_bench.txt"
+
+echo "== full-registry cmd/figures -quick wall time"
+go build -o "$out/figures.bin" ./cmd/figures
+resdir="$(mktemp -d)"
+t0=$(date +%s%N)
+"$out/figures.bin" -quick -out "$resdir" >/dev/null
+t1=$(date +%s%N)
+rm -rf "$resdir" "$out/figures.bin"
+figures_wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.2f", (b-a)/1e9}')
+echo "figures -quick: ${figures_wall}s"
+
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+goversion=$(go env GOVERSION)
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+# Fold the raw kernel output into a JSON summary. Repeated counts of
+# one benchmark are averaged.
+awk -v quick="$quick" -v commit="$commit" -v goversion="$goversion" \
+    -v stamp="$stamp" -v wall="$figures_wall" '
+  /^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    for (i = 2; i < NF; i++) {
+      if ($(i+1) == "ns/op")     { ns[name] += $i;  n[name]++ }
+      if ($(i+1) == "B/op")      { bop[name] += $i }
+      if ($(i+1) == "allocs/op") { aop[name] += $i }
+    }
+    if (!(name in seen)) { order[++cnt] = name; seen[name] = 1 }
+  }
+  END {
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", stamp
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"quick\": %s,\n", quick ? "true" : "false"
+    printf "  \"figures_quick_wall_s\": %s,\n", wall
+    printf "  \"kernel\": [\n"
+    for (i = 1; i <= cnt; i++) {
+      name = order[i]
+      printf "    {\"name\": \"%s\", \"ns_per_op\": %.2f, \"b_per_op\": %.1f, \"allocs_per_op\": %.2f}%s\n", \
+        name, ns[name]/n[name], bop[name]/n[name], aop[name]/n[name], i < cnt ? "," : ""
+    }
+    printf "  ]\n}\n"
+  }
+' "$out/kernel.txt" > "$out/BENCH_kernel.json"
+
+echo "== wrote $out/BENCH_kernel.json"
+cat "$out/BENCH_kernel.json"
