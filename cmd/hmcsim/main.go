@@ -7,14 +7,18 @@
 //	hmcsim [-type ro|wo|rw] [-size 128] [-pattern "16 vaults"]
 //	       [-mode random|linear] [-ports 9] [-measure-us 800]
 //	hmcsim -scenario zipfian            # run a declarative scenario
+//	hmcsim -scenario zipfian -backend ddr4   # ... on another backend
 //	hmcsim -scenario-list               # list the scenario library
 //
 // Pattern names follow the paper's figures: "16 vaults", "8 vaults",
 // "4 vaults", "2 vaults", "1 vault", "8 banks", "4 banks", "2 banks",
 // "1 bank", or "full" for the unrestricted address space. Scenario
-// names come from the internal/scenario builtin library (uniform,
-// zipfian, hotspot, mixed-rw, seqjump, open-loop, tenants-4,
-// chain-4).
+// names come from the internal/scenario library (uniform, zipfian,
+// hotspot, mixed-rw, seqjump, open-loop, tenants-4, chain-4, plus the
+// cross-backend set: uniform-ddr4, hotspot-ddr4, tenants-4-ddr4).
+// -backend re-targets a named scenario onto hmc, ddr4 or chain —
+// every tenant mix, address distribution and injection mode runs on
+// every backend (internal/mem).
 package main
 
 import (
@@ -87,7 +91,8 @@ func main() {
 	format := flag.String("format", "", "structured output: text, csv or json (default: classic summary)")
 	insights := flag.Bool("insights", false, "print the paper's design insights and exit")
 	scenarioName := flag.String("scenario", "", "run a declarative workload scenario by name (see -scenario-list)")
-	scenarioList := flag.Bool("scenario-list", false, "list the builtin scenario library and exit")
+	scenarioList := flag.Bool("scenario-list", false, "list the scenario library and exit")
+	backendName := flag.String("backend", "", "re-target -scenario onto a memory backend: hmc, ddr4 or chain")
 	flag.Parse()
 
 	if *insights {
@@ -98,16 +103,23 @@ func main() {
 	}
 
 	if *scenarioList {
-		for _, s := range scenario.Builtin() {
-			fmt.Printf("%-12s %s\n", s.Name, s.Description)
+		for _, s := range scenario.Library() {
+			fmt.Printf("%-15s %s\n", s.Name, s.Description)
 		}
 		return
+	}
+
+	if *backendName != "" && *scenarioName == "" {
+		fail(fmt.Errorf("-backend re-targets a scenario; combine it with -scenario"))
 	}
 
 	if *scenarioName != "" {
 		spec, err := scenario.ByName(*scenarioName)
 		if err != nil {
 			fail(err)
+		}
+		if *backendName != "" {
+			spec = scenario.WithBackend(spec, *backendName)
 		}
 		f := *format
 		if f == "" {

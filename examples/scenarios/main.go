@@ -7,8 +7,10 @@
 //
 // This walkthrough (1) lists the builtin library, (2) shows that the
 // "uniform" scenario is exactly the paper's full-scale GUPS operating
-// point, (3) contrasts injection disciplines, and (4) builds a custom
-// multi-tenant spec from scratch.
+// point, (3) contrasts injection disciplines, (4) runs one workload
+// on all three memory backends — the paper's HMC-vs-DDR comparison as
+// a one-field change — and (5) builds a custom multi-tenant spec from
+// scratch.
 package main
 
 import (
@@ -52,7 +54,19 @@ func main() {
 	fmt.Printf("open loop:   %6.1f MRPS at %4.0f ns mean read latency\n",
 		open.Total.MRPS, open.Total.ReadLatencyNs.Mean())
 
-	// 4. A custom spec: a latency-sensitive zipfian cache sharing the
+	// 4. The backend axis: the same zipfian workload on one HMC cube,
+	// one DDR4-2400 channel, and a four-cube chain. Identical tenant
+	// drivers, identical windows — the paper's side-by-side
+	// methodology as a one-field change (internal/mem).
+	fmt.Println("\nzipfian reads across memory backends:")
+	zipf := must(scenario.ByName("zipfian"))
+	for _, backend := range []string{"hmc", "ddr4", "chain"} {
+		r := scenario.MustRun(scenario.WithBackend(zipf, backend), opts)
+		fmt.Printf("  %-6s %6.2f GB/s data, read lat avg %5.0f ns\n",
+			backend, r.Total.DataGBps, r.Total.ReadLatencyNs.Mean())
+	}
+
+	// 5. A custom spec: a latency-sensitive zipfian cache sharing the
 	// cube with a background bulk writer, the cache confined to half
 	// the vaults to cap interference.
 	custom := scenario.Spec{

@@ -176,6 +176,9 @@ func NewNetwork(eng *sim.Engine, n int, topo Topology, p Params) (*Network, erro
 // Cubes reports the cube count.
 func (n *Network) Cubes() int { return len(n.cubes) }
 
+// Cube returns device i (counters snapshot, thermal hooks).
+func (n *Network) Cube(i int) *hmc.Device { return n.cubes[i] }
+
 // CapacityBytes is the aggregate DRAM capacity.
 func (n *Network) CapacityBytes() uint64 {
 	return uint64(len(n.cubes)) * n.cubes[0].Geometry().SizeBytes

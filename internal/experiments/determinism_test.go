@@ -106,3 +106,32 @@ func TestScenarioWorkerDeterminism(t *testing.T) {
 		t.Error("scenario overview not reproducible across runs at Workers=8")
 	}
 }
+
+// TestBackendMatrixWorkerDeterminism: the cross-backend matrix fans
+// (shape x backend) cells — including chain cells whose cubes fail
+// and reroute in other tests — across the pool; its output must be
+// byte-identical between Workers=1 and Workers=8 and across repeated
+// runs.
+func TestBackendMatrixWorkerDeterminism(t *testing.T) {
+	serial, err := runReport(ExtBackends)(fastOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := runReport(ExtBackends)(fastOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Table() != parallel.Table() {
+		t.Error("backend matrix text differs between Workers=1 and Workers=8")
+	}
+	if serial.CSV() != parallel.CSV() {
+		t.Error("backend matrix CSV differs between Workers=1 and Workers=8")
+	}
+	replay, err := runReport(ExtBackends)(fastOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel.Table() != replay.Table() {
+		t.Error("backend matrix not reproducible across runs at Workers=8")
+	}
+}

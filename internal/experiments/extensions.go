@@ -26,9 +26,12 @@ func Extensions() []Experiment {
 }
 
 // AllWithExtensions returns the paper registry followed by the
-// extension experiments and the scenario library.
+// extension experiments, the scenario library, and the cross-backend
+// layer.
 func AllWithExtensions() []Experiment {
-	return append(append(All(), Extensions()...), Scenarios()...)
+	out := append(All(), Extensions()...)
+	out = append(out, Scenarios()...)
+	return append(out, Backends()...)
 }
 
 // ExtReadRatioData holds the read-ratio sweep.

@@ -15,8 +15,12 @@ func TestExtensionsRegistry(t *testing.T) {
 	if want := 1 + 8; len(scns) != want { // overview + one per builtin spec
 		t.Fatalf("%d scenario experiments, want %d", len(scns), want)
 	}
+	backs := Backends()
+	if want := 1 + 3; len(backs) != want { // matrix + one per cross-backend spec
+		t.Fatalf("%d backend experiments, want %d", len(backs), want)
+	}
 	all := AllWithExtensions()
-	if want := 17 + len(exts) + len(scns); len(all) != want {
+	if want := 17 + len(exts) + len(scns) + len(backs); len(all) != want {
 		t.Fatalf("%d combined experiments, want %d", len(all), want)
 	}
 	for _, e := range exts {

@@ -5,6 +5,7 @@ import (
 
 	"hmcsim/internal/fpga"
 	"hmcsim/internal/hmc"
+	"hmcsim/internal/mem"
 	"hmcsim/internal/sim"
 	"hmcsim/internal/stats"
 )
@@ -12,12 +13,14 @@ import (
 // Config describes one GUPS experiment: a device + controller
 // configuration, a request mix, and a measurement window.
 type Config struct {
-	// Generation selects the device. Known quirk: the zero value is
-	// hmc.HMC10 (512 MB, 8 banks/vault), NOT the paper's AC-510 part
+	// Generation selects the device. The zero value is
+	// hmc.DefaultGeneration (HMC10: 512 MB, 8 banks/vault) — a
+	// deliberate, documented default, NOT the paper's AC-510 part
 	// (hmc.HMC11: 4 GB, 16 banks/vault) that the docs and the
 	// address-mask tables assume — set Generation explicitly when the
-	// geometry matters. Left as-is so every recorded figure output
-	// stays stable; see README "Performance and known quirks".
+	// geometry matters. Kept so every recorded figure output stays
+	// stable; see README "Performance and known quirks". Unknown
+	// generations are rejected by BuildRigPorts with an error.
 	Generation hmc.Generation
 	// MaxBlock selects the address-mapping mode register (default 128 B).
 	MaxBlock hmc.MaxBlockSize
@@ -54,6 +57,15 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	// Generation needs no defaulting arithmetic: its zero value IS
+	// hmc.DefaultGeneration (HMC10), by decree rather than accident —
+	// see the field comment. The explicit assignment documents the
+	// normalization and keeps it correct should the constant ever
+	// move off the zero value. Unknown generations are rejected in
+	// BuildRigPorts (withDefaults cannot return an error).
+	if c.Generation == 0 {
+		c.Generation = hmc.DefaultGeneration
+	}
 	if c.Size == 0 {
 		c.Size = 128
 	}
@@ -103,12 +115,16 @@ func (r Result) String() string {
 		r.ReadLatencyNs.Mean(), r.ReadLatencyNs.Min(), r.ReadLatencyNs.Max())
 }
 
-// Rig bundles a constructed simulation stack.
+// Rig bundles a constructed simulation stack. Dev and Ctrl expose the
+// concrete HMC models (refresh, thermal hooks, direct submission);
+// Backend is the same stack behind the unified mem interface, which
+// the ports and the trace replayer drive.
 type Rig struct {
-	Eng   *sim.Engine
-	Dev   *hmc.Device
-	Ctrl  *fpga.Controller
-	Ports []*Port
+	Eng     *sim.Engine
+	Dev     *hmc.Device
+	Ctrl    *fpga.Controller
+	Backend *mem.HMC
+	Ports   []*Port
 }
 
 // PortSeed derives port i's RNG seed from the experiment seed — the
@@ -148,6 +164,9 @@ func BuildRig(cfg Config) (*Rig, error) {
 // configuration; per-port traffic comes from pcs.
 func BuildRigPorts(cfg Config, pcs []PortConfig) (*Rig, error) {
 	cfg = cfg.withDefaults()
+	if !hmc.KnownGeneration(cfg.Generation) {
+		return nil, fmt.Errorf("gups: unknown HMC generation %d", cfg.Generation)
+	}
 	for _, pc := range pcs {
 		if !hmc.ValidPayload(pc.Size) {
 			return nil, fmt.Errorf("gups: invalid request size %d", pc.Size)
@@ -189,9 +208,9 @@ func BuildRigPorts(cfg Config, pcs []PortConfig) (*Rig, error) {
 	if err != nil {
 		return nil, err
 	}
-	rig := &Rig{Eng: eng, Dev: dev, Ctrl: ctrl}
+	rig := &Rig{Eng: eng, Dev: dev, Ctrl: ctrl, Backend: mem.NewHMC(eng, dev, ctrl)}
 	for i, pc := range pcs {
-		rig.Ports = append(rig.Ports, NewPort(i, eng, ctrl, pc))
+		rig.Ports = append(rig.Ports, NewPort(i, rig.Backend, pc))
 	}
 	return rig, nil
 }

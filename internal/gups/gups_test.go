@@ -295,3 +295,26 @@ func TestBuildRigPortsValidation(t *testing.T) {
 		t.Error("bad hot rate accepted")
 	}
 }
+
+// TestDefaultGenerationDeliberate: the Config zero value selects
+// hmc.DefaultGeneration (HMC10) on purpose — the long-flagged quirk is
+// now pinned — and unknown generations surface as errors, not panics
+// deep in the geometry tables.
+func TestDefaultGenerationDeliberate(t *testing.T) {
+	rig, err := BuildRig(Config{Ports: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rig.Dev.Geometry().Gen; got != hmc.DefaultGeneration {
+		t.Fatalf("zero-value config built %v, want %v", got, hmc.DefaultGeneration)
+	}
+	if hmc.DefaultGeneration != hmc.HMC10 {
+		t.Fatalf("DefaultGeneration moved to %v; recorded figure outputs depend on HMC10", hmc.DefaultGeneration)
+	}
+	if _, err := BuildRig(Config{Ports: 1, Generation: hmc.Generation(99)}); err == nil {
+		t.Error("unknown generation accepted")
+	}
+	if _, err := BuildRig(Config{Ports: 1, Generation: hmc.Generation(-1)}); err == nil {
+		t.Error("negative generation accepted")
+	}
+}

@@ -1,8 +1,7 @@
 package gups
 
 import (
-	"hmcsim/internal/fpga"
-	"hmcsim/internal/hmc"
+	"hmcsim/internal/mem"
 	"hmcsim/internal/sim"
 	"hmcsim/internal/stats"
 )
@@ -51,42 +50,47 @@ type PortConfig struct {
 
 	// IssueInterval switches the port to open-loop injection: issue
 	// attempts are paced at this fixed interval (one request per
-	// interval when admitted) instead of one per FPGA cycle. Zero
-	// keeps the closed-loop hardware pacing.
+	// interval when admitted) instead of one per backend issue cycle.
+	// Zero keeps the closed-loop hardware pacing.
 	IssueInterval sim.Duration
 	// Outstanding caps the closed-loop window below the hardware
-	// depths: reads are bounded by min(tag pool, Outstanding) and
-	// writes by min(write FIFO, Outstanding). Zero keeps the full
+	// depths: reads are bounded by min(read depth, Outstanding) and
+	// writes by min(write depth, Outstanding). Zero keeps the full
 	// hardware depths.
 	Outstanding int
 }
 
 // Port is the event-driven model of one GUPS port: it issues at most
-// one request per FPGA cycle, bounded by its read tag pool (depth 64),
-// its write FIFO, and the controller's flow-control stop signal.
+// one request per issue cycle into a mem.Backend port, bounded by the
+// backend's read depth (the HMC tag pool, depth 64), its write depth
+// (the write FIFO), and the backend's flow-control stop signal. The
+// same issue loop drives every backend the mem package adapts.
 type Port struct {
 	id   int
 	cfg  PortConfig
 	eng  *sim.Engine
-	ctrl *fpga.Controller
+	port mem.Port
 	gen  *AddrGen
 
 	tagDepth   int
 	wfifoDepth int
 	interval   sim.Duration
+	// wireRead/wireWrite cache the backend's per-transaction wire
+	// cost, so the completion path makes no interface calls.
+	wireRead, wireWrite uint64
 
 	tagsInUse   int
 	writesOut   int
 	rmwPending  *sim.Queue[uint64] // addresses awaiting their RMW write
 	nextIssue   sim.Time
-	wakePending bool // a retry event or bank-wait callback is armed
+	wakePending bool // a retry event or admission callback is armed
 	stopped     bool
 
 	// Reusable callback values, built once in NewPort so the issue
 	// loop never allocates a closure or method value per request.
-	wake      func()            // bank-slot wakeup for Controller.WaitBank
-	readDone  func(fpga.Result) // read completion
-	writeDone func(fpga.Result) // write completion
+	wake      func()           // admission wakeup for mem.Port.WaitIssue
+	readDone  func(mem.Result) // read completion
+	writeDone func(mem.Result) // write completion
 
 	// mixRNG draws the read/write intent for Mixed ports; the intent
 	// is held until issuable so blocking does not skew the ratio.
@@ -96,24 +100,25 @@ type Port struct {
 	mon Monitor
 }
 
-// NewPort builds a port attached to a controller.
-func NewPort(id int, eng *sim.Engine, ctrl *fpga.Controller, cfg PortConfig) *Port {
-	fp := ctrl.Params()
-	capMask := ctrl.Device().AddressMap().CapacityMask()
+// NewPort builds port id of a backend.
+func NewPort(id int, b mem.Backend, cfg PortConfig) *Port {
+	lim := b.Limits()
 	p := &Port{
 		id:   id,
 		cfg:  cfg,
-		eng:  eng,
-		ctrl: ctrl,
+		eng:  b.Engine(),
+		port: b.Port(id),
 		gen: NewAddrGenParams(GenParams{
 			Mode: cfg.Mode, Size: cfg.Size, ZeroMask: cfg.ZeroMask, OneMask: cfg.OneMask,
-			CapMask: capMask, Seed: cfg.Seed, LinearStart: cfg.LinearStart,
+			CapMask: b.CapMask(), Seed: cfg.Seed, LinearStart: cfg.LinearStart,
 			ZipfTheta: cfg.ZipfTheta, HotFraction: cfg.HotFraction, HotRate: cfg.HotRate,
 			StrideBytes: cfg.StrideBytes, JumpEvery: cfg.JumpEvery,
 		}),
-		tagDepth:   fp.TagPoolDepth,
-		wfifoDepth: fp.WriteFIFODepth,
-		interval:   fp.Cycle(),
+		tagDepth:   lim.ReadDepth,
+		wfifoDepth: lim.WriteDepth,
+		interval:   lim.IssueInterval,
+		wireRead:   uint64(b.WireBytes(false, cfg.Size)),
+		wireWrite:  uint64(b.WireBytes(true, cfg.Size)),
 		rmwPending: sim.NewQueue[uint64](0),
 		mixRNG:     sim.NewRNG(cfg.Seed ^ 0xa5a5a5a5),
 	}
@@ -136,7 +141,7 @@ func NewPort(id int, eng *sim.Engine, ctrl *fpga.Controller, cfg PortConfig) *Po
 
 // Fire runs the issue loop: the port is its own retry/pacing event,
 // so arming a wakeup never allocates. Only the armed event (or the
-// bank-slot callback it stands for) clears wakePending — completion
+// admission callback it stands for) clears wakePending — completion
 // callbacks invoke tryIssue directly and must leave an armed pacing
 // event in place, or every completion would arm a duplicate event
 // that re-arms itself forever (quadratic event processing under
@@ -146,7 +151,7 @@ func (p *Port) Fire(*sim.Engine) {
 	p.tryIssue()
 }
 
-// wakeUp is the bank-slot callback target (Controller.WaitBank): the
+// wakeUp is the admission callback target (mem.Port.WaitIssue): the
 // armed wait is consumed, so the pending flag clears first.
 func (p *Port) wakeUp() {
 	p.wakePending = false
@@ -213,10 +218,10 @@ func (p *Port) nextOp() (addr uint64, write, ok bool) {
 }
 
 // tryIssue is the issue loop body; it is idempotent and safe to call
-// from any wakeup source (pacing timer, tag release, write ack, bank
-// slot). It never clears wakePending itself: the event/callback entry
-// points (Fire, wakeUp) do, so a tryIssue driven by a completion
-// cannot shadow an already-armed pacing event.
+// from any wakeup source (pacing timer, tag release, write ack,
+// admission slot). It never clears wakePending itself: the
+// event/callback entry points (Fire, wakeUp) do, so a tryIssue driven
+// by a completion cannot shadow an already-armed pacing event.
 func (p *Port) tryIssue() {
 	if p.stopped {
 		return
@@ -230,12 +235,12 @@ func (p *Port) tryIssue() {
 	if !ok {
 		return // blocked on tags/FIFO; a completion will wake us
 	}
-	if !p.ctrl.CanIssue(addr) {
-		// Flow-control stop signal: pause generation until the bank
-		// frees a slot.
+	if !p.port.CanIssue(addr) {
+		// Flow-control stop signal: pause generation until the backend
+		// frees an admission slot.
 		if !p.wakePending {
 			p.wakePending = true
-			p.ctrl.WaitBank(addr, p.wake)
+			p.port.WaitIssue(addr, p.wake)
 		}
 		return
 	}
@@ -248,11 +253,11 @@ func (p *Port) tryIssue() {
 			p.gen.Next()
 		}
 		p.writesOut++
-		p.ctrl.Submit(hmc.Request{Addr: addr, Size: p.cfg.Size, Write: true, Port: p.id}, p.writeDone)
+		p.port.Submit(mem.Request{Addr: addr, Size: p.cfg.Size, Write: true}, p.writeDone)
 	} else {
 		p.gen.Next()
 		p.tagsInUse++
-		p.ctrl.Submit(hmc.Request{Addr: addr, Size: p.cfg.Size, Port: p.id}, p.readDone)
+		p.port.Submit(mem.Request{Addr: addr, Size: p.cfg.Size}, p.readDone)
 	}
 	p.nextIssue = now + p.interval
 	p.armRetry(p.nextIssue)
@@ -267,26 +272,26 @@ func (p *Port) armRetry(at sim.Time) {
 	p.eng.AtHandler(at, p)
 }
 
-func (p *Port) onReadDone(r fpga.Result) {
+func (p *Port) onReadDone(r mem.Result) {
 	p.tagsInUse--
 	if p.mon.measuring && !r.Err {
 		p.mon.Reads++
 		p.mon.ReadLatencyNs.Add(r.Latency().Nanoseconds())
 		p.mon.DataBytes += uint64(p.cfg.Size)
-		p.mon.RawBytes += uint64(hmc.TransactionBytes(hmc.CmdRead, p.cfg.Size))
+		p.mon.RawBytes += p.wireRead
 	}
 	if p.cfg.Type == ReadModifyWrite && !r.Err {
-		p.rmwPending.Push(r.AccessResult.Req.Addr)
+		p.rmwPending.Push(r.Req.Addr)
 	}
 	p.tryIssue()
 }
 
-func (p *Port) onWriteDone(r fpga.Result) {
+func (p *Port) onWriteDone(r mem.Result) {
 	p.writesOut--
 	if p.mon.measuring && !r.Err {
 		p.mon.Writes++
 		p.mon.DataBytes += uint64(p.cfg.Size)
-		p.mon.RawBytes += uint64(hmc.TransactionBytes(hmc.CmdWrite, p.cfg.Size))
+		p.mon.RawBytes += p.wireWrite
 	}
 	p.tryIssue()
 }

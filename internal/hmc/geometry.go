@@ -21,6 +21,20 @@ const (
 	HMC20
 )
 
+// DefaultGeneration is the generation a zero-valued configuration
+// selects: HMC10. This is deliberate — HMC10 is the Generation zero
+// value, and every recorded figure output was produced with it — but
+// it is NOT the paper's AC-510 part (HMC11: 4 GB, 16 banks/vault)
+// that the docs and address-mask tables assume. Configurations where
+// the geometry matters must set Generation explicitly; see the README
+// "Performance and known quirks" section.
+const DefaultGeneration = HMC10
+
+// KnownGeneration reports whether gen names a published revision
+// (Geometries panics on anything else; config layers validate with
+// this first so a bad spec surfaces as an error, not a panic).
+func KnownGeneration(gen Generation) bool { return gen >= HMC10 && gen <= HMC20 }
+
 func (g Generation) String() string {
 	switch g {
 	case HMC10:

@@ -1,0 +1,255 @@
+package scenario
+
+import (
+	"math"
+
+	"hmcsim/internal/gups"
+	"hmcsim/internal/mem"
+	"hmcsim/internal/sim"
+)
+
+// tenantDriver is one tenant's injector over a mem.Backend port: a
+// closed-loop outstanding window (Outstanding x Ports requests in
+// flight) or an open-loop paced arrival stream, addresses from the
+// tenant's generator over the backend's global address space. It is
+// the backend-generic compilation target for every topology that does
+// not model per-port issue hardware (the hmc backend keeps the
+// cycle-accurate gups.Port loop); because it only speaks mem.Port,
+// the same driver runs unmodified on chain and ddr4 backends — and on
+// any fourth backend the mem package grows.
+type tenantDriver struct {
+	eng      *sim.Engine
+	port     mem.Port
+	gen      *gups.AddrGen
+	mixRNG   *sim.RNG
+	readFrac float64
+	write    bool
+	mixed    bool
+	rmw      bool
+	size     int
+	window   int
+	inFlight int
+	capacity uint64
+	// reject redraws addresses beyond capacity instead of folding
+	// them with a modulo: the generator space is the next power of
+	// two, and a modulo would hit the low cubes twice as often when
+	// the capacity is not a power of two. Random-draw modes use
+	// rejection (valid fraction > 1/2, so expected < 2 draws);
+	// deterministic cursor walks wrap with the modulo instead, since
+	// rejection could spin through the whole dead zone.
+	reject  bool
+	horizon sim.Time
+
+	// interval paces open-loop injection at the tenant's aggregate
+	// arrival rate (0 = closed loop); the driver is its own pacing
+	// event, so arming a wakeup never allocates.
+	interval  sim.Duration
+	nextIssue sim.Time
+	armed     bool
+
+	// rmwPending holds addresses whose read returned and now owe
+	// their read-modify-write write-back; they drain ahead of new
+	// reads, mirroring the GUPS arbitration priority.
+	rmwPending *sim.Queue[uint64]
+
+	// wireRead/wireWrite cache the backend's per-transaction wire
+	// cost so the completion path makes no interface calls.
+	wireRead, wireWrite uint64
+
+	measuring bool
+	mon       gups.Monitor
+
+	onRead func(mem.Result)
+	onWr   func(mem.Result)
+}
+
+// newTenantDriver lowers tenant index ti of the (defaulted) spec onto
+// a backend. The seed and linear-start derivations match the GUPS
+// rig's per-port ones, keyed by tenant index, so a spec replays
+// byte-identically across runs and worker counts.
+func newTenantDriver(be mem.Backend, t Tenant, ti int, o Options, horizon sim.Time) (*tenantDriver, error) {
+	ty, err := t.reqType()
+	if err != nil {
+		return nil, err
+	}
+	mode, err := gups.ModeByName(t.Access.Kind)
+	if err != nil {
+		return nil, err
+	}
+	iv, err := t.aggregateInterval()
+	if err != nil {
+		return nil, err
+	}
+	window := t.Inject.Outstanding
+	if window == 0 {
+		window = be.Limits().ReadDepth
+	}
+	d := &tenantDriver{
+		eng:  be.Engine(),
+		port: be.Port(ti),
+		gen: gups.NewAddrGenParams(gups.GenParams{
+			Mode: mode, Size: t.Size,
+			CapMask:     be.CapMask(),
+			Seed:        gups.PortSeed(o.Seed, ti),
+			LinearStart: gups.PortLinearStart(ti),
+			ZipfTheta:   t.Access.ZipfTheta,
+			HotFraction: t.Access.HotFraction,
+			HotRate:     t.Access.HotRate,
+			StrideBytes: t.Access.StrideBytes,
+			JumpEvery:   t.Access.JumpEvery,
+		}),
+		mixRNG:    sim.NewRNG(gups.PortSeed(o.Seed, ti) ^ 0xa5a5a5a5),
+		readFrac:  t.ReadFraction,
+		write:     ty == gups.WriteOnly,
+		mixed:     ty == gups.Mixed,
+		rmw:       ty == gups.ReadModifyWrite,
+		size:      t.Size,
+		window:    window * t.Ports,
+		capacity:  be.CapacityBytes(),
+		reject:    mode == gups.Random || mode == gups.Zipfian || mode == gups.Hotspot,
+		horizon:   horizon,
+		interval:  iv,
+		wireRead:  uint64(be.WireBytes(false, t.Size)),
+		wireWrite: uint64(be.WireBytes(true, t.Size)),
+	}
+	if d.rmw {
+		d.rmwPending = sim.NewQueue[uint64](0)
+	}
+	d.onRead = func(r mem.Result) { d.done(r, false) }
+	d.onWr = func(r mem.Result) { d.done(r, true) }
+	return d, nil
+}
+
+// aggregateInterval is the tenant-level open-loop pacing interval:
+// Ports ports at RateMRPS each, realized as one paced stream (0 for
+// closed loop). Like the per-port interval, it rounds in the kernel's
+// picosecond clock so the realized rate stays within rounding error.
+func (t Tenant) aggregateInterval() (sim.Duration, error) {
+	iv, err := t.issueInterval()
+	if err != nil || iv == 0 {
+		return iv, err
+	}
+	iv = sim.Duration(math.Round(1000.0 / (t.Inject.RateMRPS * float64(t.Ports)) * float64(sim.Nanosecond)))
+	if iv < 1 {
+		iv = 1
+	}
+	return iv, nil
+}
+
+// start arms the injector.
+func (d *tenantDriver) start() { d.eng.ScheduleHandler(0, d) }
+
+// Fire is the pacing/retry event entry point; only it clears the
+// armed flag (completions call issue directly and must leave an armed
+// pacing event in place — the same discipline gups.Port documents).
+func (d *tenantDriver) Fire(*sim.Engine) {
+	d.armed = false
+	d.issue()
+}
+
+func (d *tenantDriver) arm(at sim.Time) {
+	if d.armed {
+		return
+	}
+	d.armed = true
+	d.eng.AtHandler(at, d)
+}
+
+// nextOp picks the next operation: pending RMW write-backs first,
+// then a fresh generator address with the tenant's read/write intent.
+func (d *tenantDriver) nextOp() (addr uint64, write bool) {
+	if d.rmw && d.rmwPending.Len() > 0 {
+		a, _ := d.rmwPending.Pop()
+		return a, true
+	}
+	addr = d.gen.Next()
+	if d.reject {
+		for addr >= d.capacity {
+			addr = d.gen.Next()
+		}
+	} else {
+		addr %= d.capacity
+	}
+	write = d.write
+	if d.mixed {
+		write = d.mixRNG.Float64() >= d.readFrac
+	}
+	return addr, write
+}
+
+// issue fills the outstanding window (closed loop) or releases the
+// next paced request (open loop).
+func (d *tenantDriver) issue() {
+	for d.inFlight < d.window && d.eng.Now() < d.horizon {
+		if d.interval > 0 {
+			if now := d.eng.Now(); now < d.nextIssue {
+				d.arm(d.nextIssue)
+				return
+			}
+		}
+		addr, write := d.nextOp()
+		d.inFlight++
+		done := d.onRead
+		if write {
+			done = d.onWr
+		}
+		d.port.Submit(mem.Request{Addr: addr, Size: d.size, Write: write}, done)
+		if d.interval > 0 {
+			d.nextIssue = d.eng.Now() + d.interval
+			d.arm(d.nextIssue)
+		}
+	}
+}
+
+func (d *tenantDriver) done(r mem.Result, write bool) {
+	d.inFlight--
+	if d.measuring && !r.Err {
+		if write {
+			d.mon.Writes++
+			d.mon.RawBytes += d.wireWrite
+		} else {
+			d.mon.Reads++
+			d.mon.RawBytes += d.wireRead
+			d.mon.ReadLatencyNs.Add(r.Latency().Nanoseconds())
+		}
+		d.mon.DataBytes += uint64(d.size)
+	}
+	if d.rmw && !write && !r.Err {
+		d.rmwPending.Push(r.Req.Addr)
+	}
+	d.issue()
+}
+
+// runDrivers executes the (defaulted) spec's tenants over a built
+// backend: warmup, monitor reset, measured window, per-tenant stats.
+func runDrivers(spec Spec, o Options, be mem.Backend) (Result, error) {
+	horizon := o.Warmup + o.Measure
+	drivers := make([]*tenantDriver, len(spec.Tenants))
+	for ti, t := range spec.Tenants {
+		d, err := newTenantDriver(be, t, ti, o, horizon)
+		if err != nil {
+			return Result{}, err
+		}
+		drivers[ti] = d
+		d.start()
+	}
+	eng := be.Engine()
+	eng.RunUntil(o.Warmup)
+	for _, d := range drivers {
+		d.mon = gups.Monitor{}
+		d.measuring = true
+	}
+	eng.RunUntil(horizon)
+
+	res := Result{Spec: spec, Elapsed: o.Measure}
+	secs := o.Measure.Seconds()
+	var total monAccum
+	for ti, d := range drivers {
+		var a monAccum
+		a.add(d.mon)
+		total.add(d.mon)
+		res.Tenants = append(res.Tenants, a.stats(spec.Tenants[ti].Name, secs))
+	}
+	res.Total = total.stats("total", secs)
+	return res, nil
+}

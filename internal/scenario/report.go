@@ -67,6 +67,13 @@ func (r Result) Report() runner.Report {
 		}
 		topo = fmt.Sprintf("%s of %d cubes", topo, cubes)
 	}
+	if r.Spec.Backend == "ddr4" {
+		channels := r.Spec.Channels
+		if channels == 0 {
+			channels = 1
+		}
+		topo = fmt.Sprintf("ddr4, %d channel(s)", channels)
+	}
 	return runner.Report{
 		ID:    "scn-" + r.Spec.Name,
 		Title: fmt.Sprintf("Scenario %q: %s", r.Spec.Name, r.Spec.Description),

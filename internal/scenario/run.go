@@ -6,7 +6,7 @@ import (
 	"hmcsim/internal/chain"
 	"hmcsim/internal/fpga"
 	"hmcsim/internal/gups"
-	"hmcsim/internal/hmc"
+	"hmcsim/internal/mem"
 	"hmcsim/internal/sim"
 	"hmcsim/internal/stats"
 	"hmcsim/internal/workloads"
@@ -39,8 +39,9 @@ type TenantStats struct {
 	Name   string
 	Reads  uint64
 	Writes uint64
-	// RawGBps includes request/response headers and tails (the
-	// quantity the paper's bandwidth figures report); DataGBps is
+	// RawGBps includes request/response headers and tails on the
+	// packet-switched backends (the quantity the paper's bandwidth
+	// figures report) and data-bus occupancy on ddr4; DataGBps is
 	// payload only.
 	RawGBps, DataGBps float64
 	// MRPS is million requests (reads+writes) per second.
@@ -88,7 +89,7 @@ type Result struct {
 	Total TenantStats
 }
 
-// Run compiles and executes a scenario.
+// Run compiles and executes a scenario on its backend.
 func Run(spec Spec, o Options) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
@@ -101,10 +102,14 @@ func Run(spec Spec, o Options) (Result, error) {
 	if spec.Measure != 0 {
 		o.Measure = spec.Measure
 	}
-	if spec.Topology == "single" {
+	switch spec.Backend {
+	case "hmc":
 		return runSingle(spec, o)
+	case "ddr4":
+		return runDDR(spec, o)
+	default:
+		return runChain(spec, o)
 	}
-	return runChain(spec, o)
 }
 
 // MustRun is Run that panics on spec errors (tests, examples).
@@ -171,7 +176,10 @@ func portConfigs(spec Spec, seed uint64) ([]gups.PortConfig, []int, error) {
 
 // runSingle executes a scenario on one cube behind the AC-510
 // controller: every tenant's ports share the device, contending for
-// links, vaults and banks exactly as nine GUPS ports do.
+// links, vaults and banks exactly as nine GUPS ports do. The hmc
+// backend keeps the cycle-accurate gups.Port issue loops (tag pool,
+// write FIFO, bank stop signal), driven through the mem.Backend shim
+// the rig now carries.
 func runSingle(spec Spec, o Options) (Result, error) {
 	pcs, owner, err := portConfigs(spec, o.Seed)
 	if err != nil {
@@ -217,88 +225,8 @@ func runSingle(spec Spec, o Options) (Result, error) {
 	return res, nil
 }
 
-// chainTenant is one tenant's closed-loop injector over a multi-cube
-// network: Outstanding*Ports requests in flight, addresses from the
-// tenant's generator over the global address space.
-type chainTenant struct {
-	nw       *chain.Network
-	eng      *sim.Engine
-	gen      *gups.AddrGen
-	mixRNG   *sim.RNG
-	readFrac float64
-	write    bool
-	mixed    bool
-	size     int
-	window   int
-	inFlight int
-	capacity uint64
-	// reject redraws addresses beyond capacity instead of folding
-	// them with a modulo: the generator space is the next power of
-	// two, and a modulo would hit the low cubes twice as often when
-	// the cube count is not a power of two. Random-draw modes use
-	// rejection (valid fraction > 1/2, so expected < 2 draws);
-	// deterministic cursor walks wrap with the modulo instead, since
-	// rejection could spin through the whole dead zone.
-	reject  bool
-	horizon sim.Time
-
-	measuring bool
-	mon       gups.Monitor
-
-	pump   func()
-	onRead func(chain.Result)
-	onWr   func(chain.Result)
-}
-
-func (c *chainTenant) done(r chain.Result, write bool) {
-	c.inFlight--
-	if c.measuring && !r.Err {
-		if write {
-			c.mon.Writes++
-			c.mon.RawBytes += uint64(hmc.TransactionBytes(hmc.CmdWrite, c.size))
-		} else {
-			c.mon.Reads++
-			c.mon.RawBytes += uint64(hmc.TransactionBytes(hmc.CmdRead, c.size))
-			c.mon.ReadLatencyNs.Add(r.Latency().Nanoseconds())
-		}
-		c.mon.DataBytes += uint64(c.size)
-	}
-	c.pump()
-}
-
-func (c *chainTenant) issue() {
-	for c.inFlight < c.window && c.eng.Now() < c.horizon {
-		addr := c.gen.Next()
-		if c.reject {
-			for addr >= c.capacity {
-				addr = c.gen.Next()
-			}
-		} else {
-			addr %= c.capacity
-		}
-		write := c.write
-		if c.mixed {
-			write = c.mixRNG.Float64() >= c.readFrac
-		}
-		c.inFlight++
-		done := c.onRead
-		if write {
-			done = c.onWr
-		}
-		c.nw.Access(c.eng.Now(), addr, c.size, write, done)
-	}
-}
-
-// nextPow2 returns the smallest power of two >= v.
-func nextPow2(v uint64) uint64 {
-	p := uint64(1)
-	for p < v {
-		p <<= 1
-	}
-	return p
-}
-
-// runChain executes a scenario over a chain or ring of cubes.
+// runChain executes a scenario over a chain or ring of cubes behind
+// the chain backend adapter.
 func runChain(spec Spec, o Options) (Result, error) {
 	topo := chain.Chain
 	if spec.Topology == "ring" {
@@ -309,69 +237,18 @@ func runChain(spec Spec, o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	horizon := o.Warmup + o.Measure
-	tenants := make([]*chainTenant, len(spec.Tenants))
-	for ti, t := range spec.Tenants {
-		ty, err := t.reqType()
-		if err != nil {
-			return Result{}, err
-		}
-		mode, err := gups.ModeByName(t.Access.Kind)
-		if err != nil {
-			return Result{}, err
-		}
-		window := t.Inject.Outstanding
-		if window == 0 {
-			window = 64
-		}
-		ct := &chainTenant{
-			nw:  nw,
-			eng: eng,
-			gen: gups.NewAddrGenParams(gups.GenParams{
-				Mode: mode, Size: t.Size,
-				CapMask:     nextPow2(nw.CapacityBytes()) - 1,
-				Seed:        gups.PortSeed(o.Seed, ti),
-				LinearStart: gups.PortLinearStart(ti),
-				ZipfTheta:   t.Access.ZipfTheta,
-				HotFraction: t.Access.HotFraction,
-				HotRate:     t.Access.HotRate,
-				StrideBytes: t.Access.StrideBytes,
-				JumpEvery:   t.Access.JumpEvery,
-			}),
-			mixRNG:   sim.NewRNG(gups.PortSeed(o.Seed, ti) ^ 0xa5a5a5a5),
-			readFrac: t.ReadFraction,
-			write:    ty == gups.WriteOnly,
-			mixed:    ty == gups.Mixed,
-			size:     t.Size,
-			window:   window * t.Ports,
-			capacity: nw.CapacityBytes(),
-			reject:   mode == gups.Random || mode == gups.Zipfian || mode == gups.Hotspot,
-			horizon:  horizon,
-		}
-		ct.pump = ct.issue
-		ct.onRead = func(r chain.Result) { ct.done(r, false) }
-		ct.onWr = func(r chain.Result) { ct.done(r, true) }
-		tenants[ti] = ct
-		eng.Schedule(0, ct.pump)
-	}
-	eng.RunUntil(o.Warmup)
-	for _, ct := range tenants {
-		ct.mon = gups.Monitor{}
-		ct.measuring = true
-	}
-	eng.RunUntil(horizon)
+	return runDrivers(spec, o, mem.NewChain(eng, nw))
+}
 
-	res := Result{Spec: spec, Elapsed: o.Measure}
-	secs := o.Measure.Seconds()
-	var total monAccum
-	for ti, ct := range tenants {
-		var a monAccum
-		a.add(ct.mon)
-		total.add(ct.mon)
-		res.Tenants = append(res.Tenants, a.stats(spec.Tenants[ti].Name, secs))
+// runDDR executes a scenario on the DDR4 backend: one or more
+// interleaved DDR4-2400 channels under the same tenant drivers.
+func runDDR(spec Spec, o Options) (Result, error) {
+	eng := sim.NewEngine()
+	be, err := mem.NewDDR(eng, mem.DDRConfig{Channels: spec.Channels})
+	if err != nil {
+		return Result{}, err
 	}
-	res.Total = total.stats("total", secs)
-	return res, nil
+	return runDrivers(spec, o, be)
 }
 
 // String renders a one-line summary of the run.

@@ -83,12 +83,22 @@ type Spec struct {
 	Name string
 	// Description is the one-line summary shown by listings.
 	Description string
-	// Topology is "single" (default: one cube behind the AC-510
-	// controller), "chain" or "ring" (multi-cube networks).
+	// Backend selects the memory system the spec compiles onto:
+	// "hmc" (the default for the single topology: one cube behind the
+	// AC-510 controller), "ddr4" (one or more DDR4-2400 channels), or
+	// "chain" (multi-cube HMC networks; implied by the chain/ring
+	// topologies). Every tenant mix, address distribution and
+	// injection mode runs on every backend; Pattern and Refresh are
+	// hmc-only (they name HMC geometry).
+	Backend string
+	// Topology is "single" (default: hmc and ddr4 backends), "chain"
+	// or "ring" (the chain backend's wiring).
 	Topology string
 	// Cubes is the chain/ring length (default 4).
 	Cubes int
-	// Refresh enables background DRAM refresh (single-cube only).
+	// Channels is the ddr4 channel count (default 1).
+	Channels int
+	// Refresh enables background DRAM refresh (hmc backend only).
 	Refresh bool
 	// Warmup/Measure override the runner's windows when non-zero.
 	Warmup, Measure sim.Duration
@@ -120,10 +130,24 @@ func (t Tenant) withDefaults() Tenant {
 
 func (s Spec) withDefaults() Spec {
 	if s.Topology == "" {
-		s.Topology = "single"
+		if s.Backend == "chain" {
+			s.Topology = "chain"
+		} else {
+			s.Topology = "single"
+		}
+	}
+	if s.Backend == "" {
+		if s.Topology == "chain" || s.Topology == "ring" {
+			s.Backend = "chain"
+		} else {
+			s.Backend = "hmc"
+		}
 	}
 	if s.Cubes == 0 {
 		s.Cubes = 4
+	}
+	if s.Channels == 0 {
+		s.Channels = 1
 	}
 	ts := make([]Tenant, len(s.Tenants))
 	for i, t := range s.Tenants {
@@ -177,15 +201,29 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: spec needs a name")
 	}
 	switch s.Topology {
-	case "single":
-	case "chain", "ring":
+	case "single", "chain", "ring":
+	default:
+		return fmt.Errorf("scenario: unknown topology %q (want single, chain or ring)", s.Topology)
+	}
+	switch s.Backend {
+	case "hmc", "ddr4":
+		if s.Topology != "single" {
+			return fmt.Errorf("scenario %q: the %s backend needs the single topology (chain/ring wire the chain backend)", s.Name, s.Backend)
+		}
+		if s.Backend == "ddr4" && (s.Channels < 1 || s.Channels > 8) {
+			return fmt.Errorf("scenario %q: ddr4 channel count %d outside 1..8", s.Name, s.Channels)
+		}
+	case "chain":
+		if s.Topology == "single" {
+			return fmt.Errorf("scenario %q: the chain backend needs a chain or ring topology", s.Name)
+		}
 		// chain.NewNetwork's architected limit; reject here so
 		// Validate is a complete pre-flight check.
 		if s.Cubes < 1 || s.Cubes > 8 {
 			return fmt.Errorf("scenario %q: cube count %d outside 1..8", s.Name, s.Cubes)
 		}
 	default:
-		return fmt.Errorf("scenario: unknown topology %q (want single, chain or ring)", s.Topology)
+		return fmt.Errorf("scenario: unknown backend %q (want hmc, ddr4 or chain)", s.Backend)
 	}
 	if len(s.Tenants) == 0 {
 		return fmt.Errorf("scenario %q: at least one tenant required", s.Name)
@@ -223,24 +261,16 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %q tenant %q: %w", s.Name, t.Name, err)
 		}
 		if t.Pattern != "" && t.Pattern != "full" {
-			if s.Topology != "single" {
-				return fmt.Errorf("scenario %q tenant %q: patterns need the single-cube topology", s.Name, t.Name)
+			if s.Backend != "hmc" {
+				return fmt.Errorf("scenario %q tenant %q: footprint patterns name HMC geometry and need the hmc backend", s.Name, t.Name)
 			}
 			if _, err := workloads.ByName(t.Pattern); err != nil {
 				return fmt.Errorf("scenario %q tenant %q: %w", s.Name, t.Name, err)
 			}
 		}
-		if s.Topology != "single" {
-			if ty == gups.ReadModifyWrite {
-				return fmt.Errorf("scenario %q tenant %q: rw mix is not supported on %s topologies", s.Name, t.Name, s.Topology)
-			}
-			if t.Inject.Mode == "open" {
-				return fmt.Errorf("scenario %q tenant %q: open-loop injection is not supported on %s topologies", s.Name, t.Name, s.Topology)
-			}
-		}
 	}
-	if s.Topology != "single" && s.Refresh {
-		return fmt.Errorf("scenario %q: refresh is single-cube only", s.Name)
+	if s.Backend != "hmc" && s.Refresh {
+		return fmt.Errorf("scenario %q: refresh is modeled on the hmc backend only", s.Name)
 	}
 	return nil
 }
@@ -303,9 +333,67 @@ func Builtin() []Spec {
 	}
 }
 
-// ByName finds a builtin scenario.
+// CrossBackend returns the cross-backend comparison library: builtin
+// traffic shapes re-expressed on the ddr4 backend, so the paper's
+// HMC-vs-conventional-DRAM comparison is a pair of declarative specs
+// instead of two bespoke runners. These live outside Builtin() so the
+// recorded overview sweep keeps its exact membership.
+func CrossBackend() []Spec {
+	return []Spec{
+		{
+			Name:        "uniform-ddr4",
+			Description: "Uniform-random 64 B reads on one DDR4-2400 channel (the conventional baseline under the GUPS shape)",
+			Backend:     "ddr4",
+			Tenants:     []Tenant{{Name: "load", Size: 64}},
+		},
+		{
+			Name:        "hotspot-ddr4",
+			Description: "Hotspot 64 B reads on one DDR4-2400 channel: open-page row buffers reward the hot set HMC's closed page ignores",
+			Backend:     "ddr4",
+			Tenants:     []Tenant{{Name: "hot", Size: 64, Access: Access{Kind: "hotspot", HotFraction: 0.1, HotRate: 0.9}}},
+		},
+		{
+			Name:        "tenants-4-ddr4",
+			Description: "The four-tenant mix on two interleaved DDR4 channels (multi-tenant parity check against scn-tenants-4)",
+			Backend:     "ddr4",
+			Channels:    2,
+			Tenants: []Tenant{
+				{Name: "stream", Ports: 2, Access: Access{Kind: "linear"}},
+				{Name: "cache", Ports: 3, Access: Access{Kind: "zipfian"}},
+				{Name: "hot-mix", Ports: 2, Mix: "mix", ReadFraction: 0.7, Access: Access{Kind: "hotspot"}},
+				{Name: "bulk-write", Ports: 2, Mix: "wo"},
+			},
+		},
+	}
+}
+
+// Library returns every named scenario: the builtin set plus the
+// cross-backend comparison set.
+func Library() []Spec { return append(Builtin(), CrossBackend()...) }
+
+// WithBackend re-targets a spec onto another backend (the CLI's
+// -backend flag), adjusting the topology so the combination
+// validates: hmc and ddr4 run the single topology, chain defaults to
+// a 4-cube chain. Tenant fields a backend cannot honor (footprint
+// patterns off hmc) still fail Validate — re-targeting never silently
+// drops part of a workload.
+func WithBackend(s Spec, backend string) Spec {
+	s.Backend = backend
+	switch backend {
+	case "chain":
+		if s.Topology == "" || s.Topology == "single" {
+			s.Topology = "chain"
+		}
+	case "hmc", "ddr4":
+		s.Topology = "single"
+	}
+	s.Name += "@" + backend
+	return s
+}
+
+// ByName finds a named scenario in the library.
 func ByName(name string) (Spec, error) {
-	for _, s := range Builtin() {
+	for _, s := range Library() {
 		if s.Name == name {
 			return s, nil
 		}

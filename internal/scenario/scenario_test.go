@@ -177,9 +177,15 @@ func TestValidationErrors(t *testing.T) {
 		{Name: "bad-topo", Topology: "mesh", Tenants: []Tenant{{Name: "t"}}},
 		{Name: "open-no-rate", Tenants: []Tenant{{Name: "t", Inject: Injection{Mode: "open"}}}},
 		{Name: "bad-theta", Tenants: []Tenant{{Name: "t", Access: Access{Kind: "zipfian", ZipfTheta: 1.5}}}},
-		{Name: "chain-rw", Topology: "chain", Tenants: []Tenant{{Name: "t", Mix: "rw"}}},
 		{Name: "chain-pattern", Topology: "chain", Tenants: []Tenant{{Name: "t", Pattern: "1 bank"}}},
 		{Name: "anon-tenant", Tenants: []Tenant{{}}},
+		{Name: "bad-backend", Backend: "hbm", Tenants: []Tenant{{Name: "t"}}},
+		{Name: "ddr4-pattern", Backend: "ddr4", Tenants: []Tenant{{Name: "t", Pattern: "1 bank"}}},
+		{Name: "ddr4-refresh", Backend: "ddr4", Refresh: true, Tenants: []Tenant{{Name: "t"}}},
+		{Name: "ddr4-channels", Backend: "ddr4", Channels: 9, Tenants: []Tenant{{Name: "t"}}},
+		{Name: "ddr4-chain-topo", Backend: "ddr4", Topology: "chain", Tenants: []Tenant{{Name: "t"}}},
+		{Name: "chain-single-topo", Backend: "chain", Topology: "single", Tenants: []Tenant{{Name: "t"}}},
+		{Name: "hmc-chain-topo", Backend: "hmc", Topology: "chain", Tenants: []Tenant{{Name: "t"}}},
 	}
 	for _, s := range cases {
 		if err := s.Validate(); err == nil {

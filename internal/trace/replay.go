@@ -6,6 +6,7 @@ import (
 	"hmcsim/internal/fpga"
 	"hmcsim/internal/gups"
 	"hmcsim/internal/hmc"
+	"hmcsim/internal/mem"
 	"hmcsim/internal/sim"
 	"hmcsim/internal/stats"
 )
@@ -73,7 +74,12 @@ func Replay(gen Generator, cfg ReplayConfig) (ReplayResult, error) {
 	if err != nil {
 		return ReplayResult{}, err
 	}
-	capMask := rig.Dev.AddressMap().CapacityMask()
+	// Replay drives the unified backend interface: the HMC adapter is
+	// a zero-cost shim over the controller, and the replayer itself
+	// stays backend-agnostic.
+	backend := rig.Backend
+	port := backend.Port(cfg.Port)
+	capMask := backend.CapMask()
 
 	var res ReplayResult
 	inFlight := 0
@@ -82,25 +88,23 @@ func Replay(gen Generator, cfg ReplayConfig) (ReplayResult, error) {
 	var pending *Access // next access waiting for admission/window
 
 	// The completion callback is built once and reused for every
-	// access: fpga.Result carries the submit time, and a dependent
+	// access: mem.Result carries the submit time, and a dependent
 	// access is by construction the only one in flight, so the
 	// callback needs no per-access captures.
 	var pump func()
-	onDone := func(r fpga.Result) {
+	onDone := func(r mem.Result) {
 		inFlight--
-		res.LatencyNs.Add((r.PortDeliver - r.Submit).Nanoseconds())
+		res.LatencyNs.Add(r.Latency().Nanoseconds())
 		blockedOnDep = false
 		pump()
 	}
 	issue := func(a Access) {
 		inFlight++
 		res.Accesses++
-		addr := a.Addr & capMask
-		req := hmc.Request{Addr: addr, Size: a.Size, Write: a.Write, Port: cfg.Port}
 		if a.Dependent {
 			blockedOnDep = true
 		}
-		rig.Ctrl.Submit(req, onDone)
+		port.Submit(mem.Request{Addr: a.Addr & capMask, Size: a.Size, Write: a.Write}, onDone)
 	}
 	pump = func() {
 		for {
@@ -128,9 +132,9 @@ func Replay(gen Generator, cfg ReplayConfig) (ReplayResult, error) {
 				return
 			}
 			pending = nil
-			if !rig.Ctrl.CanIssue(a.Addr & capMask) {
+			if !port.CanIssue(a.Addr & capMask) {
 				pending = &a
-				rig.Ctrl.WaitBank(a.Addr&capMask, pump)
+				port.WaitIssue(a.Addr&capMask, pump)
 				return
 			}
 			issue(a)
@@ -146,7 +150,7 @@ func Replay(gen Generator, cfg ReplayConfig) (ReplayResult, error) {
 		return ReplayResult{}, fmt.Errorf("trace: replay stalled with %d in flight", inFlight)
 	}
 	res.Elapsed = rig.Eng.Now()
-	c := rig.Dev.Counters()
+	c := backend.Counters()
 	secs := res.Elapsed.Seconds()
 	if secs > 0 {
 		res.DataGBps = float64(c.DataBytes) / secs / 1e9

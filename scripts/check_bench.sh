@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# check_bench.sh — the bench-regression gate.
+#
+# Compares a fresh BENCH_kernel.json (normally the quick-mode artifact
+# scripts/bench.sh just wrote) against the committed baseline and
+# fails if the Handler-path scheduling benchmark regressed by more
+# than the threshold. The Handler path is the kernel's contract — the
+# one number every hot scheduling site depends on — so it alone gates;
+# the rest of the file is trajectory data.
+#
+# Usage: scripts/check_bench.sh NEW.json [BASELINE.json]
+#
+#   BASELINE.json   default: bench/BENCH_kernel.json (committed)
+#   BENCH_TOLERANCE max allowed regression, percent (default 20 —
+#                   wide enough for shared-runner noise, narrow
+#                   enough to catch a lost fast path)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+new="${1:?usage: $0 NEW.json [BASELINE.json]}"
+base="${2:-bench/BENCH_kernel.json}"
+tol="${BENCH_TOLERANCE:-20}"
+bench="EngineScheduleHandler"
+
+extract() { # extract FILE NAME -> ns_per_op
+  awk -v name="$2" '
+    $0 ~ "\"name\": \"" name "\"," {
+      if (match($0, /"ns_per_op": [0-9.]+/)) {
+        print substr($0, RSTART + 13, RLENGTH - 13)
+        exit
+      }
+    }
+  ' "$1"
+}
+
+old_ns=$(extract "$base" "$bench")
+new_ns=$(extract "$new" "$bench")
+[ -n "$old_ns" ] || { echo "check_bench: $bench missing from baseline $base" >&2; exit 1; }
+[ -n "$new_ns" ] || { echo "check_bench: $bench missing from $new" >&2; exit 1; }
+
+awk -v old="$old_ns" -v new="$new_ns" -v tol="$tol" -v bench="$bench" 'BEGIN {
+  pct = (new - old) / old * 100
+  printf "check_bench: %s %.2f -> %.2f ns/op (%+.1f%%, tolerance +%s%%)\n", bench, old, new, pct, tol
+  if (pct > tol) {
+    printf "check_bench: Handler-path regression beyond tolerance\n" > "/dev/stderr"
+    exit 1
+  }
+}'
