@@ -8,6 +8,7 @@
 //	       [-mode random|linear] [-ports 9] [-measure-us 800]
 //	hmcsim -scenario zipfian            # run a declarative scenario
 //	hmcsim -scenario zipfian -backend ddr4   # ... on another backend
+//	hmcsim -scenario zipfian -tail=false     # ... without the percentile grid
 //	hmcsim -scenario-list               # list the scenario library
 //
 // Pattern names follow the paper's figures: "16 vaults", "8 vaults",
@@ -49,10 +50,23 @@ func report(m core.Measurement, typ, mode, patName string) runner.Report {
 	perf.AddRow("MRPS", f1(m.Perf.MRPS))
 	perf.AddRow("read MRPS", f1(m.Perf.ReadMRPS))
 	perf.AddRow("write MRPS", f1(m.Perf.WriteMRPS))
+	f0 := func(v float64) string { return fmt.Sprintf("%.0f", v) }
 	if lat := m.ReadLatency(); lat.N() > 0 {
-		perf.AddRow("read lat avg ns", fmt.Sprintf("%.0f", lat.Mean()))
-		perf.AddRow("read lat min ns", fmt.Sprintf("%.0f", lat.Min()))
-		perf.AddRow("read lat max ns", fmt.Sprintf("%.0f", lat.Max()))
+		perf.AddRow("read lat avg ns", f0(lat.Mean()))
+		perf.AddRow("read lat min ns", f0(lat.Min()))
+		perf.AddRow("read lat max ns", f0(lat.Max()))
+	}
+	if h := m.ReadLatencyHist(); h != nil && h.N() > 0 {
+		q := h.Percentiles(50, 90, 99, 99.9)
+		perf.AddRow("read lat p50/p90 ns", f0(q[0])+" / "+f0(q[1]))
+		perf.AddRow("read lat p99/p99.9 ns", f0(q[2])+" / "+f0(q[3]))
+	}
+	if lat := m.WriteLatency(); lat.N() > 0 {
+		perf.AddRow("write lat avg ns", f0(lat.Mean()))
+	}
+	if h := m.WriteLatencyHist(); h != nil && h.N() > 0 {
+		q := h.Percentiles(50, 99)
+		perf.AddRow("write lat p50/p99 ns", f0(q[0])+" / "+f0(q[1]))
 	}
 	th := runner.Grid{
 		Title: "Thermal/power assessment (steady state, 200 s)",
@@ -93,6 +107,7 @@ func main() {
 	scenarioName := flag.String("scenario", "", "run a declarative workload scenario by name (see -scenario-list)")
 	scenarioList := flag.Bool("scenario-list", false, "list the scenario library and exit")
 	backendName := flag.String("backend", "", "re-target -scenario onto a memory backend: hmc, ddr4 or chain")
+	tail := flag.Bool("tail", true, "append the tail-latency percentile grid (p50/p90/p99/p99.9) to scenario reports")
 	flag.Parse()
 
 	if *insights {
@@ -133,6 +148,7 @@ func main() {
 			Warmup:  sim.Duration(*warmupUs) * sim.Microsecond,
 			Measure: sim.Duration(*measureUs) * sim.Microsecond,
 			Seed:    *seed,
+			Tail:    *tail,
 		})
 		if err != nil {
 			fail(err)
@@ -207,6 +223,19 @@ func main() {
 	if lat.N() > 0 {
 		fmt.Printf("read lat:   avg %.0f ns, min %.0f, max %.0f (n=%d)\n",
 			lat.Mean(), lat.Min(), lat.Max(), lat.N())
+	}
+	if h := m.ReadLatencyHist(); h != nil && h.N() > 0 {
+		q := h.Percentiles(50, 90, 99, 99.9)
+		fmt.Printf("read tail:  p50 %.0f, p90 %.0f, p99 %.0f, p99.9 %.0f ns\n", q[0], q[1], q[2], q[3])
+	}
+	if wlat := m.WriteLatency(); wlat.N() > 0 {
+		line := fmt.Sprintf("write lat:  avg %.0f ns, min %.0f, max %.0f (n=%d)",
+			wlat.Mean(), wlat.Min(), wlat.Max(), wlat.N())
+		if h := m.WriteLatencyHist(); h != nil && h.N() > 0 {
+			q := h.Percentiles(50, 99)
+			line += fmt.Sprintf("; p50 %.0f, p99 %.0f", q[0], q[1])
+		}
+		fmt.Println(line)
 	}
 	fmt.Println("thermal/power assessment (steady state, 200 s):")
 	fmt.Printf("  %-5s %-12s %-12s %-12s %-10s %s\n",

@@ -26,12 +26,13 @@ func Extensions() []Experiment {
 }
 
 // AllWithExtensions returns the paper registry followed by the
-// extension experiments, the scenario library, and the cross-backend
-// layer.
+// extension experiments, the scenario library, the cross-backend
+// layer, and the load-latency characterization family.
 func AllWithExtensions() []Experiment {
 	out := append(All(), Extensions()...)
 	out = append(out, Scenarios()...)
-	return append(out, Backends()...)
+	out = append(out, Backends()...)
+	return append(out, LoadLatency()...)
 }
 
 // ExtReadRatioData holds the read-ratio sweep.

@@ -19,8 +19,12 @@ func TestExtensionsRegistry(t *testing.T) {
 	if want := 1 + 3; len(backs) != want { // matrix + one per cross-backend spec
 		t.Fatalf("%d backend experiments, want %d", len(backs), want)
 	}
+	lls := LoadLatency()
+	if want := 3; len(lls) != want { // one sweep per backend
+		t.Fatalf("%d load-latency experiments, want %d", len(lls), want)
+	}
 	all := AllWithExtensions()
-	if want := 17 + len(exts) + len(scns) + len(backs); len(all) != want {
+	if want := 17 + len(exts) + len(scns) + len(backs) + len(lls); len(all) != want {
 		t.Fatalf("%d combined experiments, want %d", len(all), want)
 	}
 	for _, e := range exts {

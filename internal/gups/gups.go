@@ -106,6 +106,15 @@ type Result struct {
 
 	// ReadLatencyNs summarizes port-measured read round trips.
 	ReadLatencyNs stats.Summary
+	// WriteLatencyNs summarizes port-measured write round trips
+	// (submission to write acknowledgement).
+	WriteLatencyNs stats.Summary
+	// ReadHistNs / WriteHistNs are the merged per-port latency
+	// distributions over the measurement window (warmup excluded),
+	// for tail percentiles; nil when no request of that direction
+	// completed.
+	ReadHistNs  *stats.LogHist
+	WriteHistNs *stats.LogHist
 }
 
 // String renders a one-line summary.
@@ -244,16 +253,19 @@ func Run(cfg Config) (Result, error) {
 	}
 	secs := cfg.Measure.Seconds()
 	res := Result{
-		Config:        cfg,
-		Elapsed:       cfg.Measure,
-		Reads:         mon.Reads,
-		Writes:        mon.Writes,
-		RawGBps:       float64(mon.RawBytes) / secs / 1e9,
-		DataGBps:      float64(mon.DataBytes) / secs / 1e9,
-		MRPS:          float64(mon.Reads+mon.Writes) / secs / 1e6,
-		ReadMRPS:      float64(mon.Reads) / secs / 1e6,
-		WriteMRPS:     float64(mon.Writes) / secs / 1e6,
-		ReadLatencyNs: mon.ReadLatencyNs,
+		Config:         cfg,
+		Elapsed:        cfg.Measure,
+		Reads:          mon.Reads,
+		Writes:         mon.Writes,
+		RawGBps:        float64(mon.RawBytes) / secs / 1e9,
+		DataGBps:       float64(mon.DataBytes) / secs / 1e9,
+		MRPS:           float64(mon.Reads+mon.Writes) / secs / 1e6,
+		ReadMRPS:       float64(mon.Reads) / secs / 1e6,
+		WriteMRPS:      float64(mon.Writes) / secs / 1e6,
+		ReadLatencyNs:  mon.ReadLatencyNs,
+		WriteLatencyNs: mon.WriteLatencyNs,
+		ReadHistNs:     mon.ReadHistNs,
+		WriteHistNs:    mon.WriteHistNs,
 	}
 	return res, nil
 }

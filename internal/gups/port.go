@@ -6,26 +6,96 @@ import (
 	"hmcsim/internal/stats"
 )
 
-// Monitor is the per-port monitoring unit: it records read latencies
-// and completed traffic. Measurement is gated so the runner can skip
-// warmup.
+// Monitor is the per-port monitoring unit: it records read and write
+// round trips (exact streaming summaries plus log-bucketed histograms
+// for tail percentiles) and completed traffic. Measurement is gated
+// so the runner can skip warmup; Reset clears everything at the
+// warmup/measurement boundary, so cold-start events never leak into
+// the distributions.
 type Monitor struct {
 	measuring bool
 
-	ReadLatencyNs stats.Summary
-	Reads         uint64
-	Writes        uint64
-	DataBytes     uint64
-	RawBytes      uint64
+	// ReadLatencyNs / WriteLatencyNs are exact summaries (mean, min,
+	// max) of the port-observed round trips in nanoseconds.
+	ReadLatencyNs  stats.Summary
+	WriteLatencyNs stats.Summary
+	// ReadHistNs / WriteHistNs are the log-bucketed latency
+	// distributions behind the tail percentiles (p50..p99.9; see
+	// stats.LogHist for the error bound). They are nil on a
+	// zero-value Monitor and allocated by NewMonitor; merge allocates
+	// on demand so plain accumulators keep working.
+	ReadHistNs  *stats.LogHist
+	WriteHistNs *stats.LogHist
+
+	Reads     uint64
+	Writes    uint64
+	DataBytes uint64
+	RawBytes  uint64
+}
+
+// NewMonitor returns a monitor with its latency histograms allocated,
+// ready for the zero-allocation record path.
+func NewMonitor() Monitor {
+	return Monitor{ReadHistNs: &stats.LogHist{}, WriteHistNs: &stats.LogHist{}}
 }
 
 // merge folds another monitor's measurements into m.
 func (m *Monitor) merge(o Monitor) {
 	m.ReadLatencyNs.Merge(o.ReadLatencyNs)
+	m.WriteLatencyNs.Merge(o.WriteLatencyNs)
+	stats.MergeHist(&m.ReadHistNs, o.ReadHistNs)
+	stats.MergeHist(&m.WriteHistNs, o.WriteHistNs)
 	m.Reads += o.Reads
 	m.Writes += o.Writes
 	m.DataBytes += o.DataBytes
 	m.RawBytes += o.RawBytes
+}
+
+// Record books one completed, measured request into the monitor —
+// the single definition of per-completion telemetry, shared by the
+// GUPS issue loops and the scenario tenant drivers so read/write
+// accounting cannot diverge across backends. Callers gate on their
+// measuring flag and the result's error bit; the histograms must be
+// allocated (NewMonitor).
+func (m *Monitor) Record(write bool, r mem.Result, wireBytes, dataBytes uint64) {
+	if write {
+		m.Writes++
+		m.WriteLatencyNs.Add(r.Latency().Nanoseconds())
+		m.WriteHistNs.Record(r.LatencyNs())
+	} else {
+		m.Reads++
+		m.ReadLatencyNs.Add(r.Latency().Nanoseconds())
+		m.ReadHistNs.Record(r.LatencyNs())
+	}
+	m.RawBytes += wireBytes
+	m.DataBytes += dataBytes
+}
+
+// Snapshot returns a self-consistent copy: counters and summaries by
+// value, histograms cloned, so the result does not mutate if the
+// source keeps recording or resets afterwards.
+func (m Monitor) Snapshot() Monitor {
+	if m.ReadHistNs != nil {
+		m.ReadHistNs = m.ReadHistNs.Clone()
+	}
+	if m.WriteHistNs != nil {
+		m.WriteHistNs = m.WriteHistNs.Clone()
+	}
+	return m
+}
+
+// Reset clears all measured data in place — counters, summaries and
+// histogram contents — keeping the measuring gate and the histogram
+// storage, so the warmup boundary costs no allocation.
+func (m *Monitor) Reset() {
+	rh, wh := m.ReadHistNs, m.WriteHistNs
+	*m = Monitor{measuring: m.measuring, ReadHistNs: rh, WriteHistNs: wh}
+	if rh != nil {
+		rh.Reset()
+	}
+	if wh != nil {
+		wh.Reset()
+	}
 }
 
 // PortConfig configures one GUPS port.
@@ -121,6 +191,7 @@ func NewPort(id int, b mem.Backend, cfg PortConfig) *Port {
 		wireWrite:  uint64(b.WireBytes(true, cfg.Size)),
 		rmwPending: sim.NewQueue[uint64](0),
 		mixRNG:     sim.NewRNG(cfg.Seed ^ 0xa5a5a5a5),
+		mon:        NewMonitor(),
 	}
 	if cfg.Outstanding > 0 {
 		if cfg.Outstanding < p.tagDepth {
@@ -168,14 +239,12 @@ func (p *Port) Stop() { p.stopped = true }
 // and returns the monitor state gathered so far.
 func (p *Port) SetMeasuring(on bool) { p.mon.measuring = on }
 
-// Monitor returns a snapshot of the port's measurements.
-func (p *Port) Monitor() Monitor { return p.mon }
+// Monitor returns a snapshot of the port's measurements (histograms
+// included), safe to hold across further recording or ResetMonitor.
+func (p *Port) Monitor() Monitor { return p.mon.Snapshot() }
 
 // ResetMonitor clears measured data (keeps the measuring gate).
-func (p *Port) ResetMonitor() {
-	measuring := p.mon.measuring
-	p.mon = Monitor{measuring: measuring}
-}
+func (p *Port) ResetMonitor() { p.mon.Reset() }
 
 // OutstandingReads reports tags currently in use.
 func (p *Port) OutstandingReads() int { return p.tagsInUse }
@@ -275,10 +344,7 @@ func (p *Port) armRetry(at sim.Time) {
 func (p *Port) onReadDone(r mem.Result) {
 	p.tagsInUse--
 	if p.mon.measuring && !r.Err {
-		p.mon.Reads++
-		p.mon.ReadLatencyNs.Add(r.Latency().Nanoseconds())
-		p.mon.DataBytes += uint64(p.cfg.Size)
-		p.mon.RawBytes += p.wireRead
+		p.mon.Record(false, r, p.wireRead, uint64(p.cfg.Size))
 	}
 	if p.cfg.Type == ReadModifyWrite && !r.Err {
 		p.rmwPending.Push(r.Req.Addr)
@@ -289,9 +355,7 @@ func (p *Port) onReadDone(r mem.Result) {
 func (p *Port) onWriteDone(r mem.Result) {
 	p.writesOut--
 	if p.mon.measuring && !r.Err {
-		p.mon.Writes++
-		p.mon.DataBytes += uint64(p.cfg.Size)
-		p.mon.RawBytes += p.wireWrite
+		p.mon.Record(true, r, p.wireWrite, uint64(p.cfg.Size))
 	}
 	p.tryIssue()
 }

@@ -1,0 +1,29 @@
+package mem
+
+import (
+	"testing"
+
+	"hmcsim/internal/sim"
+)
+
+// TestResultLatencyNs: the integer-nanosecond round trip truncates
+// toward zero — the contract the latency histograms record under.
+func TestResultLatencyNs(t *testing.T) {
+	cases := []struct {
+		submit, deliver sim.Time
+		want            int64
+	}{
+		{0, 0, 0},
+		{0, 999 * sim.Picosecond, 0},
+		{0, sim.Nanosecond, 1},
+		{0, sim.Nanosecond + 999*sim.Picosecond, 1},
+		{5 * sim.Nanosecond, 47*sim.Nanosecond + 500*sim.Picosecond, 42},
+		{0, 3 * sim.Microsecond, 3000},
+	}
+	for _, c := range cases {
+		r := Result{Submit: c.submit, Deliver: c.deliver}
+		if got := r.LatencyNs(); got != c.want {
+			t.Errorf("LatencyNs(%v -> %v) = %d, want %d", c.submit, c.deliver, got, c.want)
+		}
+	}
+}

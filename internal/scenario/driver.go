@@ -111,6 +111,7 @@ func newTenantDriver(be mem.Backend, t Tenant, ti int, o Options, horizon sim.Ti
 		interval:  iv,
 		wireRead:  uint64(be.WireBytes(false, t.Size)),
 		wireWrite: uint64(be.WireBytes(true, t.Size)),
+		mon:       gups.NewMonitor(),
 	}
 	if d.rmw {
 		d.rmwPending = sim.NewQueue[uint64](0)
@@ -204,15 +205,11 @@ func (d *tenantDriver) issue() {
 func (d *tenantDriver) done(r mem.Result, write bool) {
 	d.inFlight--
 	if d.measuring && !r.Err {
+		wire := d.wireRead
 		if write {
-			d.mon.Writes++
-			d.mon.RawBytes += d.wireWrite
-		} else {
-			d.mon.Reads++
-			d.mon.RawBytes += d.wireRead
-			d.mon.ReadLatencyNs.Add(r.Latency().Nanoseconds())
+			wire = d.wireWrite
 		}
-		d.mon.DataBytes += uint64(d.size)
+		d.mon.Record(write, r, wire, uint64(d.size))
 	}
 	if d.rmw && !write && !r.Err {
 		d.rmwPending.Push(r.Req.Addr)
@@ -236,12 +233,15 @@ func runDrivers(spec Spec, o Options, be mem.Backend) (Result, error) {
 	eng := be.Engine()
 	eng.RunUntil(o.Warmup)
 	for _, d := range drivers {
-		d.mon = gups.Monitor{}
+		// The warmup/measurement split: cold-start completions are
+		// discarded in place (histogram storage kept) before the
+		// measured window opens.
+		d.mon.Reset()
 		d.measuring = true
 	}
 	eng.RunUntil(horizon)
 
-	res := Result{Spec: spec, Elapsed: o.Measure}
+	res := Result{Spec: spec, Elapsed: o.Measure, Tail: o.Tail}
 	secs := o.Measure.Seconds()
 	var total monAccum
 	for ti, d := range drivers {

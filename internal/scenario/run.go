@@ -22,6 +22,12 @@ type Options struct {
 	Measure sim.Duration
 	// Seed perturbs every tenant's random streams.
 	Seed uint64
+	// Tail appends the tail-latency percentile grid (p50/p90/p99/
+	// p99.9 per tenant and direction) to the rendered report. The
+	// telemetry itself is always collected; the gate only controls
+	// rendering, so recorded report formats stay stable unless a
+	// caller opts in.
+	Tail bool
 }
 
 func (o Options) withDefaults() Options {
@@ -46,8 +52,15 @@ type TenantStats struct {
 	RawGBps, DataGBps float64
 	// MRPS is million requests (reads+writes) per second.
 	MRPS float64
-	// ReadLatencyNs summarizes measured read round trips.
-	ReadLatencyNs stats.Summary
+	// ReadLatencyNs / WriteLatencyNs are exact summaries of the
+	// measured round trips per direction.
+	ReadLatencyNs  stats.Summary
+	WriteLatencyNs stats.Summary
+	// ReadHistNs / WriteHistNs are the merged log-bucketed latency
+	// distributions across the tenant's ports (warmup excluded); nil
+	// when no request of that direction completed in the window.
+	ReadHistNs  *stats.LogHist
+	WriteHistNs *stats.LogHist
 }
 
 // monAccum folds port monitors with integer arithmetic, deferring
@@ -57,7 +70,8 @@ type TenantStats struct {
 type monAccum struct {
 	reads, writes       uint64
 	dataBytes, rawBytes uint64
-	lat                 stats.Summary
+	lat, wlat           stats.Summary
+	rhist, whist        *stats.LogHist
 }
 
 func (a *monAccum) add(m gups.Monitor) {
@@ -66,17 +80,23 @@ func (a *monAccum) add(m gups.Monitor) {
 	a.dataBytes += m.DataBytes
 	a.rawBytes += m.RawBytes
 	a.lat.Merge(m.ReadLatencyNs)
+	a.wlat.Merge(m.WriteLatencyNs)
+	stats.MergeHist(&a.rhist, m.ReadHistNs)
+	stats.MergeHist(&a.whist, m.WriteHistNs)
 }
 
 func (a monAccum) stats(name string, secs float64) TenantStats {
 	return TenantStats{
-		Name:          name,
-		Reads:         a.reads,
-		Writes:        a.writes,
-		RawGBps:       float64(a.rawBytes) / secs / 1e9,
-		DataGBps:      float64(a.dataBytes) / secs / 1e9,
-		MRPS:          float64(a.reads+a.writes) / secs / 1e6,
-		ReadLatencyNs: a.lat,
+		Name:           name,
+		Reads:          a.reads,
+		Writes:         a.writes,
+		RawGBps:        float64(a.rawBytes) / secs / 1e9,
+		DataGBps:       float64(a.dataBytes) / secs / 1e9,
+		MRPS:           float64(a.reads+a.writes) / secs / 1e6,
+		ReadLatencyNs:  a.lat,
+		WriteLatencyNs: a.wlat,
+		ReadHistNs:     a.rhist,
+		WriteHistNs:    a.whist,
 	}
 }
 
@@ -87,6 +107,9 @@ type Result struct {
 	Tenants []TenantStats
 	// Total folds every tenant together.
 	Total TenantStats
+	// Tail mirrors Options.Tail: Report appends the tail-latency
+	// percentile grid when set.
+	Tail bool
 }
 
 // Run compiles and executes a scenario on its backend.
@@ -209,7 +232,7 @@ func runSingle(spec Spec, o Options) (Result, error) {
 	}
 	rig.Eng.RunUntil(horizon)
 
-	res := Result{Spec: spec, Elapsed: o.Measure}
+	res := Result{Spec: spec, Elapsed: o.Measure, Tail: o.Tail}
 	secs := o.Measure.Seconds()
 	accums := make([]monAccum, len(spec.Tenants))
 	var total monAccum
