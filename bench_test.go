@@ -13,10 +13,13 @@ package hmcsim_test
 // the two scheduling APIs) live in internal/sim.
 
 import (
+	"fmt"
 	"testing"
 
 	"hmcsim/internal/experiments"
 	"hmcsim/internal/gups"
+	"hmcsim/internal/scenario"
+	"hmcsim/internal/sim"
 )
 
 func benchOpts() experiments.Options { return experiments.Quick() }
@@ -221,6 +224,41 @@ func BenchmarkFigure18(b *testing.B) {
 		v2 = d.SaturationBW("2 vaults", 128)
 	}
 	b.ReportMetric(v2, "GBps_2vaults_sat")
+}
+
+// BenchmarkShardScaling measures the PDES shard mesh: the two largest
+// partitioned specs (16 chained cubes, four GUPS boards) at 1/2/4/8
+// worker goroutines. Output bytes are identical at every worker count
+// (the determinism tests enforce it), so ns/op across the ladder is a
+// pure scaling curve — bounded above by min(shards, groups) and by the
+// host cores the runner.Cores budget actually grants. scripts/bench.sh
+// folds this into BENCH_pdes.json next to the measuring host's CPU
+// count, and scripts/check_bench.sh gates the 8-shard speedup only on
+// hosts with enough cores for parallelism to exist.
+func BenchmarkShardScaling(b *testing.B) {
+	for _, name := range []string{"chain-16", "hmc-boards"} {
+		spec, err := scenario.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 4, 8} {
+			// "w8", not "shards-8": the bench pipeline's awk strips a
+			// trailing -N (the GOMAXPROCS suffix) from benchmark names,
+			// which would swallow a literal shard count.
+			b.Run(fmt.Sprintf("%s/w%d", name, shards), func(b *testing.B) {
+				o := scenario.Options{
+					Warmup:  30 * sim.Microsecond,
+					Measure: 100 * sim.Microsecond,
+					Seed:    1,
+					Shards:  shards,
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					scenario.MustRun(spec, o)
+				}
+			})
+		}
+	}
 }
 
 // Ablation/extension benchmarks (EXPERIMENTS.md "extension

@@ -44,6 +44,7 @@ func main() {
 	warmupUs := flag.Int("warmup-us", 0, "override warmup window in simulated microseconds")
 	seed := flag.Uint64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
+	shards := flag.Int("shards", 1, "worker goroutines per sharded scenario's PDES mesh (results identical at every value)")
 	ext := flag.Bool("ext", false, "include the extension experiments (ablations, projections)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	progress := flag.Bool("progress", false, "print per-cell sweep progress")
@@ -80,6 +81,7 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Workers = *workers
+	opts.Shards = *shards
 	opts.Context = ctx
 	if *progress {
 		opts.Progress = func(done, total int) {

@@ -108,6 +108,7 @@ func main() {
 	scenarioList := flag.Bool("scenario-list", false, "list the scenario library and exit")
 	backendName := flag.String("backend", "", "re-target -scenario onto a memory backend: hmc, ddr4 or chain")
 	tail := flag.Bool("tail", true, "append the tail-latency percentile grid (p50/p90/p99/p99.9) to scenario reports")
+	shards := flag.Int("shards", 1, "worker goroutines for sharded scenarios (Spec.Groups > 1); results are identical at every value")
 	flag.Parse()
 
 	if *insights {
@@ -149,6 +150,7 @@ func main() {
 			Measure: sim.Duration(*measureUs) * sim.Microsecond,
 			Seed:    *seed,
 			Tail:    *tail,
+			Shards:  *shards,
 		})
 		if err != nil {
 			fail(err)

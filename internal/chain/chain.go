@@ -176,6 +176,10 @@ func NewNetwork(eng *sim.Engine, n int, topo Topology, p Params) (*Network, erro
 // Cubes reports the cube count.
 func (n *Network) Cubes() int { return len(n.cubes) }
 
+// Params returns the network's timing constants (read-only view; the
+// mem adapter derives its latency floor from them).
+func (n *Network) Params() Params { return n.p }
+
 // Cube returns device i (counters snapshot, thermal hooks).
 func (n *Network) Cube(i int) *hmc.Device { return n.cubes[i] }
 

@@ -141,6 +141,41 @@ func TestLoadLatWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// TestShardWorkerDeterminism: every partitioned spec's experiment must
+// render byte-identically whether its PDES mesh runs on one goroutine
+// or as many as there are shards — the partition is part of the spec;
+// Options.Shards only schedules it.
+func TestShardWorkerDeterminism(t *testing.T) {
+	for _, e := range ShardedScenarios() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			serial, err := e.Run(fastOpts(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := fastOpts(1)
+			o.Shards = 8
+			sharded, err := e.Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Table() != sharded.Table() {
+				t.Errorf("%s text differs between Shards=1 and Shards=8", e.ID)
+			}
+			if serial.CSV() != sharded.CSV() {
+				t.Errorf("%s CSV differs between Shards=1 and Shards=8", e.ID)
+			}
+			replay, err := e.Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sharded.Table() != replay.Table() {
+				t.Errorf("%s not reproducible across runs at Shards=8", e.ID)
+			}
+		})
+	}
+}
+
 // TestBackendMatrixWorkerDeterminism: the cross-backend matrix fans
 // (shape x backend) cells — including chain cells whose cubes fail
 // and reroute in other tests — across the pool; its output must be

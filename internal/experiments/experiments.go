@@ -29,6 +29,11 @@ type Options struct {
 	Seed uint64
 	// Workers bounds concurrent independent simulations (0 = NumCPU).
 	Workers int
+	// Shards is the PDES worker count for sharded scenario specs
+	// (scenario.Spec.Groups > 1): how many goroutines drive one
+	// simulation's shard mesh. Results are byte-identical at every
+	// value; 0 or 1 runs each simulation sequentially.
+	Shards int
 	// Context cancels in-flight sweeps when done (nil = background).
 	Context context.Context
 	// Progress, when non-nil, is called after each simulation cell of

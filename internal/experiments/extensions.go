@@ -27,12 +27,14 @@ func Extensions() []Experiment {
 
 // AllWithExtensions returns the paper registry followed by the
 // extension experiments, the scenario library, the cross-backend
-// layer, and the load-latency characterization family.
+// layer, the load-latency characterization family, and the
+// sharded-system library.
 func AllWithExtensions() []Experiment {
 	out := append(All(), Extensions()...)
 	out = append(out, Scenarios()...)
 	out = append(out, Backends()...)
-	return append(out, LoadLatency()...)
+	out = append(out, LoadLatency()...)
+	return append(out, ShardedScenarios()...)
 }
 
 // ExtReadRatioData holds the read-ratio sweep.

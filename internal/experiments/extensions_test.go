@@ -23,8 +23,12 @@ func TestExtensionsRegistry(t *testing.T) {
 	if want := 3; len(lls) != want { // one sweep per backend
 		t.Fatalf("%d load-latency experiments, want %d", len(lls), want)
 	}
+	shards := ShardedScenarios()
+	if want := 1 + 4; len(shards) != want { // overview + one per sharded spec
+		t.Fatalf("%d sharded experiments, want %d", len(shards), want)
+	}
 	all := AllWithExtensions()
-	if want := 17 + len(exts) + len(scns) + len(backs) + len(lls); len(all) != want {
+	if want := 17 + len(exts) + len(scns) + len(backs) + len(lls) + len(shards); len(all) != want {
 		t.Fatalf("%d combined experiments, want %d", len(all), want)
 	}
 	for _, e := range exts {

@@ -172,6 +172,16 @@ func BuildRig(cfg Config) (*Rig, error) {
 // configs sharing one cube). cfg supplies the device/controller
 // configuration; per-port traffic comes from pcs.
 func BuildRigPorts(cfg Config, pcs []PortConfig) (*Rig, error) {
+	return BuildRigPortsOn(sim.NewEngine(), cfg, pcs)
+}
+
+// BuildRigPortsOn is BuildRigPorts on a caller-supplied engine — the
+// entry point for multi-board builds, where each board's rig lives on
+// its own shard engine of a PDES mesh instead of a private one.
+func BuildRigPortsOn(eng *sim.Engine, cfg Config, pcs []PortConfig) (*Rig, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("gups: nil engine")
+	}
 	cfg = cfg.withDefaults()
 	if !hmc.KnownGeneration(cfg.Generation) {
 		return nil, fmt.Errorf("gups: unknown HMC generation %d", cfg.Generation)
@@ -192,7 +202,6 @@ func BuildRigPorts(cfg Config, pcs []PortConfig) (*Rig, error) {
 			return nil, err
 		}
 	}
-	eng := sim.NewEngine()
 	amap, err := hmc.NewAddressMap(hmc.Geometries(cfg.Generation), cfg.MaxBlock)
 	if err != nil {
 		return nil, err

@@ -64,6 +64,15 @@ func (b *Chain) WireBytes(write bool, size int) int {
 	return hmc.TransactionBytes(hmc.CmdRead, size)
 }
 
+// MinLatency is the network's latency floor: the single-cube bound
+// (wire both ways, ingress/egress, one bank cycle) of the nearest
+// cube. Farther cubes add pass-through hops and extra wire flights on
+// top, so the nearest-cube bound is conservative for the whole chain.
+func (b *Chain) MinLatency() sim.Duration {
+	p := b.nw.Params().Device
+	return 2*p.LinkWireLatency + p.IngressLatency + p.EgressLatency + p.BankAccess
+}
+
 // Counters sums the per-cube device counters.
 func (b *Chain) Counters() Counters {
 	var c Counters

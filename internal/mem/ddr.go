@@ -128,6 +128,16 @@ func (b *DDR) WireBytes(_ bool, size int) int {
 	return (size + burst - 1) / burst * burst
 }
 
+// MinLatency is the channel's latency floor: the front-end path, one
+// CAS (the open-page row-hit case — every other bank state adds tRCD
+// and/or tRP on top), and the back-end return path. Burst transfer
+// time and command-bus serialization only add to it, so the bound is
+// conservative for reads and writes alike.
+func (b *DDR) MinLatency() sim.Duration {
+	c := b.cfg.Channel
+	return c.FrontEndLatency + c.Timing.TCL + c.BackEndLatency
+}
+
 // Counters reports the unified snapshot: payload bytes and the
 // read/write split from the adapter's own accounting (like the
 // hmc/chain adapters), wire bytes as the channels' data-bus occupancy

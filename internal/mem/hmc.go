@@ -91,6 +91,17 @@ func (b *HMC) WireBytes(write bool, size int) int {
 	return hmc.TransactionBytes(hmc.CmdRead, size)
 }
 
+// MinLatency is the cube's latency floor: wire flight both ways plus
+// the fixed ingress/egress pipelines plus one closed-page bank cycle.
+// Every access pays at least these stages (Figure 14's deconstruction
+// deliberately under-counts here: serialization, SLID processing and
+// queueing only add to it), so the bound is conservative for any
+// request size, pattern or port count.
+func (b *HMC) MinLatency() sim.Duration {
+	p := b.dev.Params()
+	return 2*p.LinkWireLatency + p.IngressLatency + p.EgressLatency + p.BankAccess
+}
+
 // Counters maps the device counters onto the unified snapshot.
 func (b *HMC) Counters() Counters {
 	c := b.dev.Counters()

@@ -115,6 +115,16 @@ type Backend interface {
 	// WireBytes is the interconnect cost of one request+response pair,
 	// the quantity raw-bandwidth figures report.
 	WireBytes(write bool, size int) int
+	// MinLatency is a conservative lower bound on the port-observed
+	// round trip of ANY access the backend can serve: no completed
+	// Result ever reports Latency() below it. It is the backend's
+	// lookahead contract for the parallel shard kernel — the PDES
+	// mesh uses it as the synchronization window, because no
+	// cross-shard interaction can influence another shard sooner
+	// than the fastest possible access. Derivations: hmc and chain
+	// from the SerDes/link and bank-cycle floors, ddr4 from the
+	// front-end + tCL + back-end minimum (see each implementation).
+	MinLatency() sim.Duration
 	// Counters snapshots backend-side traffic totals.
 	Counters() Counters
 }

@@ -1,0 +1,74 @@
+package mem
+
+import (
+	"testing"
+
+	"hmcsim/internal/chain"
+	"hmcsim/internal/sim"
+)
+
+// TestMinLatencyIsALowerBound drives a few thousand random accesses
+// through every adapter and checks the lookahead contract: no
+// completed access is ever faster than MinLatency. The PDES shard
+// kernel's synchronization window rests on exactly this property.
+func TestMinLatencyIsALowerBound(t *testing.T) {
+	for _, be := range backends(t) {
+		be := be
+		t.Run(be.Name(), func(t *testing.T) {
+			floor := be.MinLatency()
+			if floor <= 0 {
+				t.Fatalf("%s: non-positive MinLatency %v", be.Name(), floor)
+			}
+			eng := be.Engine()
+			port := be.Port(0)
+			rng := sim.NewRNG(11)
+			capacity := be.CapacityBytes()
+			var min sim.Duration = 1 << 62
+			var n int
+			inFlight := 0
+			var pump func()
+			done := func(r Result) {
+				inFlight--
+				if !r.Err {
+					n++
+					if lat := r.Latency(); lat < min {
+						min = lat
+					}
+				}
+				pump()
+			}
+			issued := 0
+			pump = func() {
+				for inFlight < 16 && issued < 4000 {
+					addr := rng.Uint64() % capacity &^ 127
+					write := rng.Float64() < 0.3
+					inFlight++
+					issued++
+					port.Submit(Request{Addr: addr, Size: 64, Write: write}, done)
+				}
+			}
+			eng.Schedule(0, pump)
+			eng.Run()
+			if n == 0 {
+				t.Fatal("no completions; bound check vacuous")
+			}
+			if min < floor {
+				t.Errorf("%s: observed latency %v below MinLatency %v", be.Name(), min, floor)
+			}
+			t.Logf("%s: MinLatency %v, fastest observed %v over %d accesses", be.Name(), floor, min, n)
+		})
+	}
+}
+
+// TestMinLatencyChainMatchesSingleCube: the chain floor is the
+// single-cube floor (the nearest cube bounds the network), so the
+// chain and hmc backends agree on the lookahead for identical device
+// parameters.
+func TestMinLatencyChainMatchesSingleCube(t *testing.T) {
+	h := buildHMC(t)
+	c := buildChain(t, 4, chain.Chain)
+	if h.MinLatency() != c.MinLatency() {
+		t.Errorf("hmc floor %v != chain floor %v under identical device params",
+			h.MinLatency(), c.MinLatency())
+	}
+}

@@ -1,0 +1,70 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// CoreBudget arbitrates CPU cores between the two kinds of
+// parallelism the repo now has: cell-parallelism (runner.Map fanning
+// independent simulations across a pool) and shard-parallelism (the
+// PDES mesh running one simulation's shards concurrently). Both ask
+// the budget for extra workers beyond the goroutine they already
+// own; grants are best-effort and never block, so the composition —
+// a registry run whose cells are themselves sharded scenarios —
+// degrades gracefully to sequential execution instead of
+// oversubscribing the machine. Determinism is unaffected by
+// arbitration: every consumer produces byte-identical results at any
+// worker count, so a smaller grant only changes wall-clock time.
+type CoreBudget struct {
+	mu   sync.Mutex
+	free int
+}
+
+// NewCoreBudget returns a budget holding n grantable cores.
+func NewCoreBudget(n int) *CoreBudget {
+	if n < 0 {
+		n = 0
+	}
+	return &CoreBudget{free: n}
+}
+
+// TryAcquire grants up to n cores without blocking and returns the
+// number granted (possibly 0). The caller's own goroutine is not
+// counted — request only the extra workers wanted beyond it — and
+// every granted core must be returned with Release.
+func (b *CoreBudget) TryAcquire(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n > b.free {
+		n = b.free
+	}
+	b.free -= n
+	return n
+}
+
+// Release returns n previously granted cores to the budget.
+func (b *CoreBudget) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.free += n
+	b.mu.Unlock()
+}
+
+// Free reports the currently grantable core count (racy by nature;
+// for telemetry and tests).
+func (b *CoreBudget) Free() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.free
+}
+
+// Cores is the process-wide budget: NumCPU-1 grantable cores, the
+// caller's goroutine being the implicit NumCPU-th. Map and the
+// scenario shard runner both draw from it.
+var Cores = NewCoreBudget(runtime.NumCPU() - 1)

@@ -1,0 +1,68 @@
+package runner
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestCoreBudgetGrantAndRelease(t *testing.T) {
+	b := NewCoreBudget(3)
+	if got := b.TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire(2) = %d, want 2", got)
+	}
+	if got := b.TryAcquire(5); got != 1 {
+		t.Fatalf("TryAcquire(5) with 1 free = %d, want 1", got)
+	}
+	if got := b.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire on empty budget = %d, want 0", got)
+	}
+	b.Release(3)
+	if got := b.Free(); got != 3 {
+		t.Fatalf("Free after full release = %d, want 3", got)
+	}
+	if got := b.TryAcquire(0); got != 0 {
+		t.Fatalf("TryAcquire(0) = %d, want 0", got)
+	}
+	if got := b.TryAcquire(-4); got != 0 {
+		t.Fatalf("TryAcquire(-4) = %d, want 0", got)
+	}
+}
+
+func TestCoreBudgetNeverNegative(t *testing.T) {
+	b := NewCoreBudget(2)
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g := b.TryAcquire(2)
+				if g < 0 || g > 2 {
+					panic("grant out of range")
+				}
+				b.Release(g)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Free(); got != 2 {
+		t.Fatalf("Free after churn = %d, want 2", got)
+	}
+}
+
+// TestMapReleasesBudget: a Map run returns every core it was granted,
+// so repeated runs never leak the budget dry.
+func TestMapReleasesBudget(t *testing.T) {
+	before := Cores.Free()
+	for k := 0; k < 3; k++ {
+		_, err := Map(context.Background(), Config{Workers: 8}, 20,
+			func(_ context.Context, i int) (int, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := Cores.Free(); after != before {
+		t.Fatalf("budget leaked: %d free before, %d after", before, after)
+	}
+}

@@ -50,6 +50,19 @@ func Map[T any](ctx context.Context, cfg Config, n int, f func(ctx context.Conte
 	if w > n {
 		w = n
 	}
+	// Arbitrate with the process-wide core budget: the caller's own
+	// goroutine runs for free, extra workers are granted best-effort
+	// and returned when the map ends. When sharded scenarios run as
+	// cells underneath this pool, whatever the pool left ungranted is
+	// what their shard workers can draw — the two layers of
+	// parallelism share one budget instead of multiplying. Results
+	// are byte-identical at any grant (see the determinism tests), so
+	// arbitration only shapes wall-clock time.
+	if w > 1 {
+		extra := Cores.TryAcquire(w - 1)
+		defer Cores.Release(extra)
+		w = 1 + extra
+	}
 
 	var (
 		mu    sync.Mutex

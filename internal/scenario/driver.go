@@ -68,6 +68,14 @@ type tenantDriver struct {
 // rig's per-port ones, keyed by tenant index, so a spec replays
 // byte-identically across runs and worker counts.
 func newTenantDriver(be mem.Backend, t Tenant, ti int, o Options, horizon sim.Time) (*tenantDriver, error) {
+	return newTenantDriverPort(be, be.Port(ti), t, ti, o, horizon)
+}
+
+// newTenantDriverPort is newTenantDriver with an explicit issue port:
+// the sharded runner injects a mesh-aware port here (local traffic to
+// the home replica, remote traffic across the shard exchange) while
+// capacity, limits and wire costs still come from the backend.
+func newTenantDriverPort(be mem.Backend, port mem.Port, t Tenant, ti int, o Options, horizon sim.Time) (*tenantDriver, error) {
 	ty, err := t.reqType()
 	if err != nil {
 		return nil, err
@@ -86,7 +94,7 @@ func newTenantDriver(be mem.Backend, t Tenant, ti int, o Options, horizon sim.Ti
 	}
 	d := &tenantDriver{
 		eng:  be.Engine(),
-		port: be.Port(ti),
+		port: port,
 		gen: gups.NewAddrGenParams(gups.GenParams{
 			Mode: mode, Size: t.Size,
 			CapMask:     be.CapMask(),

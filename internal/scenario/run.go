@@ -28,6 +28,19 @@ type Options struct {
 	// rendering, so recorded report formats stay stable unless a
 	// caller opts in.
 	Tail bool
+	// Shards is the requested worker count for sharded specs
+	// (Spec.Groups > 1): how many goroutines execute the PDES mesh's
+	// shards concurrently, arbitrated against the process-wide
+	// runner.Cores budget. 0 or 1 runs sequentially. Results are
+	// byte-identical at every value — the partition is fixed by the
+	// spec, Shards only schedules it — so the flag is purely a
+	// wall-clock knob.
+	Shards int
+
+	// forceMesh routes Groups == 1 specs through the sharded runner
+	// (a one-shard mesh). Test/bench hook: the parity suite pins the
+	// meshed path byte-identical to the classic one on the same spec.
+	forceMesh bool
 }
 
 func (o Options) withDefaults() Options {
@@ -124,6 +137,9 @@ func Run(spec Spec, o Options) (Result, error) {
 	}
 	if spec.Measure != 0 {
 		o.Measure = spec.Measure
+	}
+	if spec.Groups > 1 || o.forceMesh {
+		return runSharded(spec, o)
 	}
 	switch spec.Backend {
 	case "hmc":

@@ -75,6 +75,16 @@ type Tenant struct {
 	Access Access
 	// Inject selects the injection discipline.
 	Inject Injection
+	// Home pins the tenant to one partition group of a sharded spec
+	// (Spec.Groups > 1): the tenant's ports, address space and
+	// drivers live on that group's replica. Ignored when Groups is 1.
+	Home int
+	// Remote is the fraction of the tenant's accesses redirected to a
+	// uniformly-chosen other group (chain and ddr4 backends only; hmc
+	// boards are fully independent). Remote traffic crosses the PDES
+	// mesh's windowed batch exchange, paying the flush-alignment cost
+	// the lookahead window models.
+	Remote float64
 }
 
 // Spec is one declarative scenario.
@@ -100,6 +110,17 @@ type Spec struct {
 	Channels int
 	// Refresh enables background DRAM refresh (hmc backend only).
 	Refresh bool
+	// Groups partitions the backend into that many independent
+	// replicas, one per PDES shard (default 1 = the classic
+	// single-engine run). Partition cut points follow the hardware's
+	// natural seams: chain specs split Cubes into Groups equal
+	// sub-chains behind separate host links (unlocking >8 cubes),
+	// ddr4 specs split Channels into Groups independent channel sets,
+	// and hmc specs become Groups independent boards (the EX-700
+	// carrier's multi-AC-510 shape). Grouping is structural — it
+	// changes the simulated system — while Options.Shards only picks
+	// how many goroutines execute it, never the result bytes.
+	Groups int
 	// Warmup/Measure override the runner's windows when non-zero.
 	Warmup, Measure sim.Duration
 	// Tenants are the concurrent traffic sources (at least one).
@@ -148,6 +169,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Channels == 0 {
 		s.Channels = 1
+	}
+	if s.Groups == 0 {
+		s.Groups = 1
 	}
 	ts := make([]Tenant, len(s.Tenants))
 	for i, t := range s.Tenants {
@@ -205,21 +229,41 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("scenario: unknown topology %q (want single, chain or ring)", s.Topology)
 	}
+	if s.Groups < 1 || s.Groups > 8 {
+		return fmt.Errorf("scenario %q: group count %d outside 1..8", s.Name, s.Groups)
+	}
 	switch s.Backend {
 	case "hmc", "ddr4":
 		if s.Topology != "single" {
 			return fmt.Errorf("scenario %q: the %s backend needs the single topology (chain/ring wire the chain backend)", s.Name, s.Backend)
 		}
-		if s.Backend == "ddr4" && (s.Channels < 1 || s.Channels > 8) {
-			return fmt.Errorf("scenario %q: ddr4 channel count %d outside 1..8", s.Name, s.Channels)
+		if s.Backend == "ddr4" {
+			// Each group replicates an independent channel set; the
+			// per-group set obeys the single-run 1..8 bound.
+			if s.Channels%s.Groups != 0 {
+				return fmt.Errorf("scenario %q: %d ddr4 channels not divisible into %d groups", s.Name, s.Channels, s.Groups)
+			}
+			if per := s.Channels / s.Groups; per < 1 || per > 8 {
+				return fmt.Errorf("scenario %q: ddr4 channel count %d per group outside 1..8", s.Name, per)
+			}
 		}
 	case "chain":
 		if s.Topology == "single" {
 			return fmt.Errorf("scenario %q: the chain backend needs a chain or ring topology", s.Name)
 		}
-		// chain.NewNetwork's architected limit; reject here so
-		// Validate is a complete pre-flight check.
-		if s.Cubes < 1 || s.Cubes > 8 {
+		if s.Groups > 1 {
+			// Each group is an independent sub-chain behind its own
+			// host link; the per-group length obeys chain.NewNetwork's
+			// architected 1..8 limit, so 8 groups reach 64 cubes.
+			if s.Cubes%s.Groups != 0 {
+				return fmt.Errorf("scenario %q: %d cubes not divisible into %d groups", s.Name, s.Cubes, s.Groups)
+			}
+			if per := s.Cubes / s.Groups; per < 1 || per > 8 {
+				return fmt.Errorf("scenario %q: cube count %d per group outside 1..8", s.Name, per)
+			}
+		} else if s.Cubes < 1 || s.Cubes > 8 {
+			// chain.NewNetwork's architected limit; reject here so
+			// Validate is a complete pre-flight check.
 			return fmt.Errorf("scenario %q: cube count %d outside 1..8", s.Name, s.Cubes)
 		}
 	default:
@@ -266,6 +310,20 @@ func (s Spec) Validate() error {
 			}
 			if _, err := workloads.ByName(t.Pattern); err != nil {
 				return fmt.Errorf("scenario %q tenant %q: %w", s.Name, t.Name, err)
+			}
+		}
+		if t.Home < 0 || t.Home >= s.Groups {
+			return fmt.Errorf("scenario %q tenant %q: home group %d outside 0..%d", s.Name, t.Name, t.Home, s.Groups-1)
+		}
+		if t.Remote < 0 || t.Remote >= 1 {
+			return fmt.Errorf("scenario %q tenant %q: remote fraction %v outside [0,1)", s.Name, t.Name, t.Remote)
+		}
+		if t.Remote > 0 {
+			if s.Groups < 2 {
+				return fmt.Errorf("scenario %q tenant %q: remote traffic needs Groups > 1", s.Name, t.Name)
+			}
+			if s.Backend == "hmc" {
+				return fmt.Errorf("scenario %q tenant %q: hmc boards are independent; remote traffic needs the chain or ddr4 backend", s.Name, t.Name)
 			}
 		}
 	}
@@ -367,9 +425,83 @@ func CrossBackend() []Spec {
 	}
 }
 
-// Library returns every named scenario: the builtin set plus the
-// cross-backend comparison set.
-func Library() []Spec { return append(Builtin(), CrossBackend()...) }
+// Sharded returns the partitioned-system library: scenarios whose
+// Groups field splits the memory system across the PDES shard mesh.
+// These are the scale shapes the single-engine kernel could not
+// reach (16 chained cubes, four GUPS boards) plus the cross-group
+// traffic specs that exercise the windowed batch exchange. They live
+// outside Builtin() so the recorded overview sweep keeps its exact
+// membership.
+func Sharded() []Spec {
+	return []Spec{
+		{
+			Name:        "chain-16",
+			Description: "Sixteen chained cubes as eight 2-cube groups behind separate host links, one closed-loop tenant per group",
+			Topology:    "chain",
+			Cubes:       16,
+			Groups:      8,
+			Tenants: []Tenant{
+				{Name: "t0", Home: 0, Ports: 2, Inject: Injection{Outstanding: 64}},
+				{Name: "t1", Home: 1, Ports: 2, Inject: Injection{Outstanding: 64}},
+				{Name: "t2", Home: 2, Ports: 2, Inject: Injection{Outstanding: 64}},
+				{Name: "t3", Home: 3, Ports: 2, Inject: Injection{Outstanding: 64}},
+				{Name: "t4", Home: 4, Ports: 2, Inject: Injection{Outstanding: 64}},
+				{Name: "t5", Home: 5, Ports: 2, Inject: Injection{Outstanding: 64}},
+				{Name: "t6", Home: 6, Ports: 2, Inject: Injection{Outstanding: 64}},
+				{Name: "t7", Home: 7, Ports: 2, Inject: Injection{Outstanding: 64}},
+			},
+		},
+		{
+			Name:        "chain-16-remote",
+			Description: "The 16-cube sharded chain with 5% of each tenant's accesses crossing to other groups through the windowed exchange",
+			Topology:    "chain",
+			Cubes:       16,
+			Groups:      8,
+			Tenants: []Tenant{
+				{Name: "t0", Home: 0, Ports: 2, Remote: 0.05, Inject: Injection{Outstanding: 64}},
+				{Name: "t1", Home: 1, Ports: 2, Remote: 0.05, Inject: Injection{Outstanding: 64}},
+				{Name: "t2", Home: 2, Ports: 2, Remote: 0.05, Inject: Injection{Outstanding: 64}},
+				{Name: "t3", Home: 3, Ports: 2, Remote: 0.05, Inject: Injection{Outstanding: 64}},
+				{Name: "t4", Home: 4, Ports: 2, Remote: 0.05, Inject: Injection{Outstanding: 64}},
+				{Name: "t5", Home: 5, Ports: 2, Remote: 0.05, Inject: Injection{Outstanding: 64}},
+				{Name: "t6", Home: 6, Ports: 2, Remote: 0.05, Inject: Injection{Outstanding: 64}},
+				{Name: "t7", Home: 7, Ports: 2, Remote: 0.05, Inject: Injection{Outstanding: 64}},
+			},
+		},
+		{
+			Name:        "hmc-boards",
+			Description: "Four independent AC-510 boards (EX-700 carrier shape), each a full 9-port GUPS rig with a distinct access shape",
+			Backend:     "hmc",
+			Groups:      4,
+			Tenants: []Tenant{
+				{Name: "uniform", Home: 0, Ports: 9},
+				{Name: "zipf", Home: 1, Ports: 9, Access: Access{Kind: "zipfian", ZipfTheta: 0.99}},
+				{Name: "hot", Home: 2, Ports: 9, Access: Access{Kind: "hotspot", HotFraction: 0.1, HotRate: 0.9}},
+				{Name: "mix", Home: 3, Ports: 9, Mix: "mix", ReadFraction: 0.7},
+			},
+		},
+		{
+			Name:        "ddr4-quad",
+			Description: "Eight DDR4-2400 channels as four 2-channel groups; the stream tenant leaks 10% of its accesses to other groups",
+			Backend:     "ddr4",
+			Channels:    8,
+			Groups:      4,
+			Tenants: []Tenant{
+				{Name: "stream", Home: 0, Remote: 0.1, Ports: 2, Access: Access{Kind: "linear"}},
+				{Name: "cache", Home: 1, Ports: 2, Access: Access{Kind: "zipfian"}},
+				{Name: "hot", Home: 2, Ports: 2, Access: Access{Kind: "hotspot"}},
+				{Name: "bulk", Home: 3, Ports: 2, Mix: "wo"},
+			},
+		},
+	}
+}
+
+// Library returns every named scenario: the builtin set, the
+// cross-backend comparison set, and the sharded-system set.
+func Library() []Spec {
+	out := append(Builtin(), CrossBackend()...)
+	return append(out, Sharded()...)
+}
 
 // WithBackend re-targets a spec onto another backend (the CLI's
 // -backend flag), adjusting the topology so the combination

@@ -1,0 +1,317 @@
+package scenario
+
+import (
+	"hmcsim/internal/chain"
+	"hmcsim/internal/fpga"
+	"hmcsim/internal/gups"
+	"hmcsim/internal/mem"
+	"hmcsim/internal/runner"
+	"hmcsim/internal/sim"
+)
+
+// This file is the sharded runner: the compilation target for specs
+// with Groups > 1 (and, via Options.forceMesh, the parity harness for
+// Groups == 1). The spec's groups become independent backend replicas,
+// one per shard of a sim.Mesh; tenants run on their home shard's
+// engine, and a tenant's Remote fraction crosses shards through the
+// mesh's windowed batch exchange. The partition lives in the Spec, so
+// the result bytes depend only on the spec and seed — Options.Shards
+// picks how many goroutines execute the mesh, never what it computes.
+
+// shardWorkers resolves the requested shard worker count against the
+// mesh width and the process-wide core budget. The returned release
+// function gives the granted cores back (call it once the run ends).
+func shardWorkers(req, groups int) (int, func()) {
+	w := req
+	if w < 1 {
+		w = 1
+	}
+	if w > groups {
+		w = groups
+	}
+	if w <= 1 {
+		return 1, func() {}
+	}
+	extra := runner.Cores.TryAcquire(w - 1)
+	return 1 + extra, func() { runner.Cores.Release(extra) }
+}
+
+// runSharded executes a partitioned spec across a PDES mesh.
+func runSharded(spec Spec, o Options) (Result, error) {
+	if spec.Backend == "hmc" {
+		return runShardedHMC(spec, o)
+	}
+	groups := spec.Groups
+	mesh := sim.NewMesh(groups)
+
+	backends := make([]mem.Backend, groups)
+	switch spec.Backend {
+	case "ddr4":
+		per := spec.Channels / groups
+		for g := 0; g < groups; g++ {
+			be, err := mem.NewDDR(mesh.Shard(g).Engine(), mem.DDRConfig{Channels: per})
+			if err != nil {
+				return Result{}, err
+			}
+			backends[g] = be
+		}
+	default: // chain
+		topo := chain.Chain
+		if spec.Topology == "ring" {
+			topo = chain.Ring
+		}
+		per := spec.Cubes / groups
+		for g := 0; g < groups; g++ {
+			eng := mesh.Shard(g).Engine()
+			nw, err := chain.NewNetwork(eng, per, topo, chain.DefaultParams())
+			if err != nil {
+				return Result{}, err
+			}
+			backends[g] = mem.NewChain(eng, nw)
+		}
+	}
+
+	anyRemote := false
+	for _, t := range spec.Tenants {
+		if t.Remote > 0 {
+			anyRemote = true
+			break
+		}
+	}
+	if anyRemote {
+		// The lookahead window is the backends' latency floor: no
+		// cross-shard access can land sooner, so flush-aligned delivery
+		// at window boundaries never reorders against local traffic a
+		// shard has already committed. Without remote traffic the mesh
+		// stays windowless and each Run is one barrier-free chunk.
+		mesh.SetWindow(backends[0].MinLatency())
+	}
+
+	horizon := o.Warmup + o.Measure
+	drivers := make([]*tenantDriver, len(spec.Tenants))
+	for ti, t := range spec.Tenants {
+		be := backends[t.Home]
+		port := be.Port(ti)
+		if t.Remote > 0 {
+			peers := make([]mem.Port, groups)
+			shards := make([]*sim.MeshShard, groups)
+			for g := 0; g < groups; g++ {
+				peers[g] = backends[g].Port(ti)
+				shards[g] = mesh.Shard(g)
+			}
+			port = &meshPort{
+				local:  port,
+				shard:  mesh.Shard(t.Home),
+				shards: shards,
+				peers:  peers,
+				home:   t.Home,
+				groups: groups,
+				frac:   t.Remote,
+				// A dedicated stream, offset from the tenant's mix RNG,
+				// so adding Remote to a tenant never perturbs its
+				// read/write draws.
+				rng: sim.NewRNG(gups.PortSeed(o.Seed, ti) ^ 0x5c5c5c5c),
+			}
+		}
+		d, err := newTenantDriverPort(be, port, t, ti, o, horizon)
+		if err != nil {
+			return Result{}, err
+		}
+		drivers[ti] = d
+		d.start()
+	}
+
+	workers, release := shardWorkers(o.Shards, groups)
+	defer release()
+	mesh.Run(o.Warmup, workers)
+	for _, d := range drivers {
+		d.mon.Reset()
+		d.measuring = true
+	}
+	mesh.Run(horizon, workers)
+
+	res := Result{Spec: spec, Elapsed: o.Measure, Tail: o.Tail}
+	secs := o.Measure.Seconds()
+	var total monAccum
+	for ti, d := range drivers {
+		var a monAccum
+		a.add(d.mon)
+		total.add(d.mon)
+		res.Tenants = append(res.Tenants, a.stats(spec.Tenants[ti].Name, secs))
+	}
+	res.Total = total.stats("total", secs)
+	return res, nil
+}
+
+// runShardedHMC executes an hmc spec as Groups independent AC-510
+// boards (the EX-700 carrier shape): each group's tenants keep the
+// cycle-accurate gups.Port issue loops on a full rig living on that
+// group's shard engine. Port seeds stay keyed by the global port
+// index, so tenant streams match the single-board compilation of the
+// same tenant list.
+func runShardedHMC(spec Spec, o Options) (Result, error) {
+	groups := spec.Groups
+	pcs, owner, err := portConfigs(spec, o.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	groupPcs := make([][]gups.PortConfig, groups)
+	groupOwner := make([][]int, groups) // per-group port -> global tenant
+	for pi, pc := range pcs {
+		g := spec.Tenants[owner[pi]].Home
+		groupPcs[g] = append(groupPcs[g], pc)
+		groupOwner[g] = append(groupOwner[g], owner[pi])
+	}
+
+	mesh := sim.NewMesh(groups)
+	horizon := o.Warmup + o.Measure
+	rigs := make([]*gups.Rig, groups)
+	for g := 0; g < groups; g++ {
+		base := gups.Config{Seed: o.Seed, Warmup: o.Warmup, Measure: o.Measure}
+		if n := len(groupPcs[g]); n > fpga.DefaultParams().Ports {
+			fp := fpga.DefaultParams()
+			fp.Ports = n
+			base.FPGAParams = &fp
+		}
+		rig, err := gups.BuildRigPortsOn(mesh.Shard(g).Engine(), base, groupPcs[g])
+		if err != nil {
+			return Result{}, err
+		}
+		if spec.Refresh {
+			rig.Dev.StartRefresh(horizon, false)
+		}
+		rigs[g] = rig
+	}
+
+	for _, rig := range rigs {
+		for _, p := range rig.Ports {
+			p.Start()
+		}
+	}
+	workers, release := shardWorkers(o.Shards, groups)
+	defer release()
+	mesh.Run(o.Warmup, workers)
+	for _, rig := range rigs {
+		for _, p := range rig.Ports {
+			p.ResetMonitor()
+			p.SetMeasuring(true)
+		}
+	}
+	mesh.Run(horizon, workers)
+
+	res := Result{Spec: spec, Elapsed: o.Measure, Tail: o.Tail}
+	secs := o.Measure.Seconds()
+	accums := make([]monAccum, len(spec.Tenants))
+	var total monAccum
+	for g, rig := range rigs {
+		for pi, p := range rig.Ports {
+			m := p.Monitor()
+			accums[groupOwner[g][pi]].add(m)
+			total.add(m)
+		}
+	}
+	for i, a := range accums {
+		res.Tenants = append(res.Tenants, a.stats(spec.Tenants[i].Name, secs))
+	}
+	res.Total = total.stats("total", secs)
+	return res, nil
+}
+
+// meshPort splits one tenant's traffic between its home replica and
+// the rest of the mesh: a draw below the tenant's Remote fraction
+// redirects the request to a uniformly-chosen other group, carried by
+// a pooled crossFlight across the windowed exchange (out to the
+// remote shard, served there, and back). Addresses transfer as-is —
+// every replica of an equal partition has the same local address
+// space — and the round trip pays the flush alignment of both
+// crossings, modeling a batching host-side switch between boards.
+type meshPort struct {
+	local  mem.Port
+	shard  *sim.MeshShard   // home shard
+	shards []*sim.MeshShard // all shards, indexed by group
+	peers  []mem.Port       // per-group issue point into that replica
+	home   int
+	groups int
+	frac   float64
+	rng    *sim.RNG
+	free   *crossFlight
+}
+
+const (
+	flightOutbound = iota + 1 // Fire on the destination shard: submit there
+	flightReturn              // Fire back home: deliver the completion
+)
+
+// crossFlight is one remote access in transit. It is touched by two
+// shards, but only in temporally disjoint phases separated by the
+// mesh's exchange barriers, which order the handoffs; the free list
+// is only ever touched on the home shard (allocate at submit, release
+// at final delivery).
+type crossFlight struct {
+	mp     *meshPort
+	req    mem.Request
+	done   mem.Done
+	submit sim.Time
+	dst    int
+	phase  int
+	err    bool
+	onDone mem.Done
+	next   *crossFlight
+}
+
+func (p *meshPort) newFlight() *crossFlight {
+	f := p.free
+	if f == nil {
+		f = &crossFlight{mp: p}
+		f.onDone = func(r mem.Result) {
+			f.err = r.Err
+			f.phase = flightReturn
+			f.mp.shards[f.dst].Send(f.mp.home, r.Deliver, f)
+		}
+	} else {
+		p.free = f.next
+	}
+	return f
+}
+
+// Fire advances the flight's phase on whichever shard the mesh just
+// delivered it to.
+func (f *crossFlight) Fire(eng *sim.Engine) {
+	switch f.phase {
+	case flightOutbound:
+		f.mp.peers[f.dst].Submit(f.req, f.onDone)
+	default: // flightReturn, on the home shard
+		done := f.done
+		res := mem.Result{Req: f.req, Submit: f.submit, Deliver: eng.Now(), Err: f.err}
+		f.done = nil
+		f.next = f.mp.free
+		f.mp.free = f
+		done(res)
+	}
+}
+
+// Submit routes the request: local fast path, or a crossFlight to a
+// uniformly-chosen other group.
+func (p *meshPort) Submit(req mem.Request, done mem.Done) {
+	if p.rng.Float64() >= p.frac {
+		p.local.Submit(req, done)
+		return
+	}
+	dst := int(p.rng.Uint64n(uint64(p.groups - 1)))
+	if dst >= p.home {
+		dst++
+	}
+	f := p.newFlight()
+	f.req, f.done, f.dst = req, done, dst
+	f.submit = p.shard.Engine().Now()
+	f.phase = flightOutbound
+	p.shard.Send(dst, f.submit, f)
+}
+
+// CanIssue defers to the home replica: admission control is a local
+// property, and the remote path's only backpressure is the tenant's
+// outstanding window.
+func (p *meshPort) CanIssue(addr uint64) bool { return p.local.CanIssue(addr) }
+
+// WaitIssue defers to the home replica (see CanIssue).
+func (p *meshPort) WaitIssue(addr uint64, fn func()) { p.local.WaitIssue(addr, fn) }

@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"testing"
+
+	"hmcsim/internal/runner"
+	"hmcsim/internal/sim"
+)
+
+func quickShard() Options {
+	return Options{Warmup: 20 * sim.Microsecond, Measure: 60 * sim.Microsecond, Seed: 1, Tail: true}
+}
+
+// render folds every rendered form of a result into one comparison
+// string, so a determinism check covers the table, CSV and JSON paths
+// at once.
+func render(r Result) string {
+	rep := r.Report()
+	js, err := rep.JSON()
+	if err != nil {
+		panic(err)
+	}
+	return rep.Table() + "\n###\n" + rep.CSV() + "\n###\n" + js
+}
+
+// withWideBudget runs fn with the process core budget inflated so
+// shard worker requests are actually granted even on a small host —
+// the determinism matrix must exercise the multi-goroutine path, not
+// silently clamp to one worker.
+func withWideBudget(t *testing.T, fn func()) {
+	t.Helper()
+	old := runner.Cores
+	runner.Cores = runner.NewCoreBudget(16)
+	defer func() { runner.Cores = old }()
+	fn()
+}
+
+// TestShardDeterminism: a sharded spec produces byte-identical reports
+// at every worker count — the partition is structural (Spec.Groups),
+// Options.Shards only schedules it. Covers all three backends and
+// both traffic shapes (independent groups, cross-group remote).
+func TestShardDeterminism(t *testing.T) {
+	for _, name := range []string{"chain-16-remote", "ddr4-quad", "hmc-boards"} {
+		t.Run(name, func(t *testing.T) {
+			spec, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := quickShard()
+			o.Shards = 1
+			base := render(MustRun(spec, o))
+			withWideBudget(t, func() {
+				for _, shards := range []int{2, 8} {
+					o.Shards = shards
+					if got := render(MustRun(spec, o)); got != base {
+						t.Errorf("%s: Shards=%d diverged from Shards=1:\n%s", name, shards, got)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestMeshParity: routing a Groups == 1 spec through the sharded
+// runner (a one-shard mesh) reproduces the classic single-engine
+// compilation byte-for-byte on every backend. The mesh is a scheduling
+// layer, not a model change.
+func TestMeshParity(t *testing.T) {
+	for _, name := range []string{"uniform", "chain-4", "tenants-4-ddr4"} {
+		t.Run(name, func(t *testing.T) {
+			spec, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := quickShard()
+			direct := render(MustRun(spec, o))
+			o.forceMesh = true
+			if meshed := render(MustRun(spec, o)); meshed != direct {
+				t.Errorf("%s: meshed run diverged from direct run:\n%s\n### direct:\n%s", name, meshed, direct)
+			}
+		})
+	}
+}
+
+// TestShardRemoteTraffic: remote accesses actually cross the exchange
+// — the remote spec's tail stretches past the local-only spec's
+// (each crossing is flush-aligned to the lookahead window) while the
+// request counts stay in the same regime.
+func TestShardRemoteTraffic(t *testing.T) {
+	o := quickShard()
+	local := MustRun(mustByName(t, "chain-16"), o)
+	remote := MustRun(mustByName(t, "chain-16-remote"), o)
+	if lm, rm := local.Total.ReadLatencyNs.Max(), remote.Total.ReadLatencyNs.Max(); rm <= lm {
+		t.Errorf("remote max read latency %.0f ns not above local-only %.0f ns", rm, lm)
+	}
+	if remote.Total.Reads == 0 || local.Total.Reads == 0 {
+		t.Fatal("no traffic measured")
+	}
+}
+
+// BenchmarkMeshParity pins the cost of the mesh layer itself: the same
+// Groups == 1 spec through the classic runner vs a one-shard mesh. The
+// delta is pure kernel overhead (check_bench.sh gates it).
+func BenchmarkMeshParity(b *testing.B) {
+	spec, err := ByName("chain-4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		mesh bool
+	}{{"direct", false}, {"mesh1", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			o := quickShard()
+			o.forceMesh = mode.mesh
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MustRun(spec, o)
+			}
+		})
+	}
+}

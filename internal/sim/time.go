@@ -4,8 +4,13 @@
 // resources (buses, SerDes lanes, DRAM banks), bounded queues, and a
 // fast deterministic random number generator.
 //
-// The kernel is deliberately single-threaded: experiments that want
-// parallelism run independent engines in separate goroutines.
+// Each Engine is deliberately single-threaded — one goroutine, one
+// event loop, no locks on the hot path. Parallelism is layered on
+// top: independent experiment cells run separate engines in separate
+// goroutines (internal/runner), and one large system can be split
+// across a Mesh of shard engines that exchange timestamped event
+// batches under a conservative lookahead window (shard.go), with
+// results byte-identical at every worker count.
 package sim
 
 import (

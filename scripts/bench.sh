@@ -12,6 +12,11 @@
 #   $OUT/BENCH_kernel.json  machine-readable summary: per-benchmark
 #                           ns/op, B/op, allocs/op plus the figures
 #                           wall time and build metadata
+#   $OUT/pdes.txt           raw output for the PDES shard benchmarks
+#                           (shard-scaling ladder + mesh parity)
+#   $OUT/BENCH_pdes.json    PDES summary: the ladder, the measuring
+#                           host's CPU count, the 8-shard chain-16
+#                           speedup and the one-shard mesh overhead
 #
 # Usage: scripts/bench.sh [-quick] [-out DIR]
 #
@@ -43,10 +48,12 @@ if [ "$quick" = 1 ]; then
   kernel_time=20000x
   kernel_count=1
   fig_bench='^(BenchmarkTableI|BenchmarkFigure7|BenchmarkFigure14)$'
+  pdes_time=1x
 else
   kernel_time=1s
   kernel_count=3
   fig_bench='.'
+  pdes_time=3x
 fi
 
 echo "== kernel benchmarks (benchtime $kernel_time, count $kernel_count)"
@@ -57,6 +64,17 @@ go test ./internal/sim -run '^$' -bench "$kernel_bench" \
 echo "== table/figure benchmarks"
 go test . -run '^$' -bench "$fig_bench" -benchtime 1x -benchmem \
   | tee "$out/figures_bench.txt"
+
+echo "== PDES shard benchmarks (benchtime $pdes_time)"
+go test . -run '^$' -bench '^BenchmarkShardScaling$' \
+  -benchtime "$pdes_time" -benchmem \
+  | tee "$out/pdes.txt"
+# The parity pair is cheap but gated tightly (mesh overhead); longer
+# benchtime + repeats push VM frequency/cache warmup noise below the
+# gate's threshold (the awk below averages repeated counts).
+go test ./internal/scenario -run '^$' -bench '^BenchmarkMeshParity$' \
+  -benchtime 10x -count 2 -benchmem \
+  | tee -a "$out/pdes.txt"
 
 echo "== full-registry cmd/figures -quick wall time"
 go build -o "$out/figures.bin" ./cmd/figures
@@ -106,3 +124,48 @@ awk -v quick="$quick" -v commit="$commit" -v goversion="$goversion" \
 
 echo "== wrote $out/BENCH_kernel.json"
 cat "$out/BENCH_kernel.json"
+
+# Fold the PDES output into its own summary. The speedup and overhead
+# ratios are computed here so check_bench.sh can gate on them without
+# re-parsing benchmark text; cpus records the measuring host, because
+# a shard-scaling number from a 1-core box is a serialization
+# measurement, not a parallelism one.
+cpus=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+awk -v quick="$quick" -v commit="$commit" -v goversion="$goversion" \
+    -v stamp="$stamp" -v cpus="$cpus" '
+  /^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    for (i = 2; i < NF; i++) {
+      if ($(i+1) == "ns/op")     { ns[name] += $i;  n[name]++ }
+      if ($(i+1) == "B/op")      { bop[name] += $i }
+      if ($(i+1) == "allocs/op") { aop[name] += $i }
+    }
+    if (!(name in seen)) { order[++cnt] = name; seen[name] = 1 }
+  }
+  END {
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", stamp
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"quick\": %s,\n", quick ? "true" : "false"
+    printf "  \"cpus\": %s,\n", cpus
+    s1 = "ShardScaling/chain-16/w1"; s8 = "ShardScaling/chain-16/w8"
+    if (n[s1] && n[s8])
+      printf "  \"chain16_speedup_8w\": %.2f,\n", (ns[s1]/n[s1]) / (ns[s8]/n[s8])
+    d = "MeshParity/direct"; m = "MeshParity/mesh1"
+    if (n[d] && n[m])
+      printf "  \"mesh_overhead_pct\": %.1f,\n", ((ns[m]/n[m]) / (ns[d]/n[d]) - 1) * 100
+    printf "  \"pdes\": [\n"
+    for (i = 1; i <= cnt; i++) {
+      name = order[i]
+      printf "    {\"name\": \"%s\", \"ns_per_op\": %.2f, \"b_per_op\": %.1f, \"allocs_per_op\": %.2f}%s\n", \
+        name, ns[name]/n[name], bop[name]/n[name], aop[name]/n[name], i < cnt ? "," : ""
+    }
+    printf "  ]\n}\n"
+  }
+' "$out/pdes.txt" > "$out/BENCH_pdes.json"
+
+echo "== wrote $out/BENCH_pdes.json"
+cat "$out/BENCH_pdes.json"

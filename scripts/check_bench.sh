@@ -8,19 +8,29 @@
 # one number every hot scheduling site depends on — so it alone gates;
 # the rest of the file is trajectory data.
 #
+# A NEW.json whose basename contains "pdes" switches to the PDES gate
+# instead: the one-shard mesh overhead must stay small (the parallel
+# kernel may not tax the sequential paths), the one-worker shard ladder
+# entry must not regress against the committed baseline, and — only on
+# hosts with >= 4 cores, where parallelism is physically possible — the
+# 8-worker chain-16 speedup must clear its floor.
+#
 # Usage: scripts/check_bench.sh NEW.json [BASELINE.json]
 #
-#   BASELINE.json   default: bench/BENCH_kernel.json (committed)
+#   BASELINE.json   default: bench/BENCH_kernel.json (committed), or
+#                   bench/BENCH_pdes.json in PDES mode
 #   BENCH_TOLERANCE max allowed regression, percent (default 20 —
 #                   wide enough for shared-runner noise, narrow
-#                   enough to catch a lost fast path)
+#                   enough to catch a lost fast path; PDES mode
+#                   defaults to 35: whole-scenario runs are noisier
+#                   than kernel microbenchmarks)
+#   PDES_OVERHEAD_TOL  max one-shard mesh overhead, percent (default 15)
+#   PDES_SPEEDUP_MIN   min 8-worker chain-16 speedup on >=4-core hosts
+#                      (default 1.5)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 new="${1:?usage: $0 NEW.json [BASELINE.json]}"
-base="${2:-bench/BENCH_kernel.json}"
-tol="${BENCH_TOLERANCE:-20}"
-bench="EngineScheduleHandler"
 
 extract() { # extract FILE NAME -> ns_per_op
   awk -v name="$2" '
@@ -32,6 +42,70 @@ extract() { # extract FILE NAME -> ns_per_op
     }
   ' "$1"
 }
+
+field() { # field FILE KEY -> bare numeric value (empty if absent)
+  awk -v key="$2" '
+    $0 ~ "\"" key "\":" {
+      if (match($0, /: -?[0-9.]+/)) {
+        print substr($0, RSTART + 2, RLENGTH - 2)
+        exit
+      }
+    }
+  ' "$1"
+}
+
+case "$(basename "$new")" in
+*pdes*)
+  base="${2:-bench/BENCH_pdes.json}"
+  tol="${BENCH_TOLERANCE:-35}"
+  overhead_tol="${PDES_OVERHEAD_TOL:-15}"
+  speedup_min="${PDES_SPEEDUP_MIN:-1.5}"
+  bench="ShardScaling/chain-16/w1"
+
+  overhead=$(field "$new" "mesh_overhead_pct")
+  [ -n "$overhead" ] || { echo "check_bench: mesh_overhead_pct missing from $new" >&2; exit 1; }
+  awk -v o="$overhead" -v tol="$overhead_tol" 'BEGIN {
+    printf "check_bench: one-shard mesh overhead %+.1f%% (tolerance +%s%%)\n", o, tol
+    if (o > tol) {
+      printf "check_bench: mesh layer taxes the sequential path beyond tolerance\n" > "/dev/stderr"
+      exit 1
+    }
+  }'
+
+  cpus=$(field "$new" "cpus")
+  speedup=$(field "$new" "chain16_speedup_8w")
+  [ -n "$speedup" ] || { echo "check_bench: chain16_speedup_8w missing from $new" >&2; exit 1; }
+  if [ "${cpus:-1}" -ge 4 ]; then
+    awk -v s="$speedup" -v min="$speedup_min" -v c="$cpus" 'BEGIN {
+      printf "check_bench: chain-16 8-worker speedup %.2fx on %s cores (floor %sx)\n", s, c, min
+      if (s < min) {
+        printf "check_bench: shard mesh not scaling on a multi-core host\n" > "/dev/stderr"
+        exit 1
+      }
+    }'
+  else
+    echo "check_bench: chain-16 8-worker speedup ${speedup}x on ${cpus:-1} core(s); speedup floor needs >= 4 cores, skipping"
+  fi
+
+  old_ns=$(extract "$base" "$bench")
+  new_ns=$(extract "$new" "$bench")
+  [ -n "$old_ns" ] || { echo "check_bench: $bench missing from baseline $base" >&2; exit 1; }
+  [ -n "$new_ns" ] || { echo "check_bench: $bench missing from $new" >&2; exit 1; }
+  awk -v old="$old_ns" -v new="$new_ns" -v tol="$tol" -v bench="$bench" 'BEGIN {
+    pct = (new - old) / old * 100
+    printf "check_bench: %s %.0f -> %.0f ns/op (%+.1f%%, tolerance +%s%%)\n", bench, old, new, pct, tol
+    if (pct > tol) {
+      printf "check_bench: one-worker shard run regressed beyond tolerance\n" > "/dev/stderr"
+      exit 1
+    }
+  }'
+  exit 0
+  ;;
+esac
+
+base="${2:-bench/BENCH_kernel.json}"
+tol="${BENCH_TOLERANCE:-20}"
+bench="EngineScheduleHandler"
 
 old_ns=$(extract "$base" "$bench")
 new_ns=$(extract "$new" "$bench")
