@@ -46,6 +46,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
 	shards := flag.Int("shards", 1, "worker goroutines per sharded scenario's PDES mesh (results identical at every value)")
 	ext := flag.Bool("ext", false, "include the extension experiments (ablations, projections)")
+	thermal := flag.Bool("thermal", false, "close the thermal/power feedback loop on scenario-backed experiments (scn-*, ext-backends, ext-loadlat)")
+	cooling := flag.String("cooling", "", "Table III cooling environment for -thermal: Cfg1..Cfg4 (default Cfg2)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	progress := flag.Bool("progress", false, "print per-cell sweep progress")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the registry run")
@@ -82,6 +84,8 @@ func main() {
 	opts.Seed = *seed
 	opts.Workers = *workers
 	opts.Shards = *shards
+	opts.Thermal = *thermal || *cooling != ""
+	opts.Cooling = *cooling
 	opts.Context = ctx
 	if *progress {
 		opts.Progress = func(done, total int) {

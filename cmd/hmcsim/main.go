@@ -9,6 +9,7 @@
 //	hmcsim -scenario zipfian            # run a declarative scenario
 //	hmcsim -scenario zipfian -backend ddr4   # ... on another backend
 //	hmcsim -scenario zipfian -tail=false     # ... without the percentile grid
+//	hmcsim -scenario zipfian -thermal -cooling Cfg4  # ... with the feedback loop closed
 //	hmcsim -scenario-list               # list the scenario library
 //
 // Pattern names follow the paper's figures: "16 vaults", "8 vaults",
@@ -108,6 +109,8 @@ func main() {
 	scenarioList := flag.Bool("scenario-list", false, "list the scenario library and exit")
 	backendName := flag.String("backend", "", "re-target -scenario onto a memory backend: hmc, ddr4 or chain")
 	tail := flag.Bool("tail", true, "append the tail-latency percentile grid (p50/p90/p99/p99.9) to scenario reports")
+	thermal := flag.Bool("thermal", false, "close the thermal/power feedback loop on scenario runs: live RC temperatures throttle the backend")
+	coolingName := flag.String("cooling", "", "Table III cooling environment for -thermal: Cfg1..Cfg4 (default Cfg2)")
 	shards := flag.Int("shards", 1, "worker goroutines for sharded scenarios (Spec.Groups > 1); results are identical at every value")
 	flag.Parse()
 
@@ -127,6 +130,9 @@ func main() {
 
 	if *backendName != "" && *scenarioName == "" {
 		fail(fmt.Errorf("-backend re-targets a scenario; combine it with -scenario"))
+	}
+	if (*thermal || *coolingName != "") && *scenarioName == "" {
+		fail(fmt.Errorf("-thermal/-cooling close the feedback loop on a scenario; combine them with -scenario"))
 	}
 
 	if *scenarioName != "" {
@@ -150,6 +156,8 @@ func main() {
 			Measure: sim.Duration(*measureUs) * sim.Microsecond,
 			Seed:    *seed,
 			Tail:    *tail,
+			Thermal: *thermal || *coolingName != "",
+			Cooling: *coolingName,
 			Shards:  *shards,
 		})
 		if err != nil {

@@ -6,10 +6,7 @@
 // Figure 12 is built from.
 package cooling
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Config is one row of Table III.
 type Config struct {
@@ -60,29 +57,47 @@ func ByName(name string) (Config, error) {
 // the configuration's supply point (4.5 W at full 12 V per the paper).
 func (c Config) BackplaneFanW() float64 { return c.FanVoltage * c.FanCurrent }
 
+// anchors are the Table III points ordered by ascending resistance,
+// established once at package init (Configs() already returns Cfg1..4
+// in that order; the init check keeps the invariant honest if the
+// table ever changes) so PowerForResistance never sorts per call.
+var anchors = func() []Config {
+	cfgs := Configs()
+	for i := 1; i < len(cfgs); i++ {
+		if cfgs[i].SharedResistanceKPerW <= cfgs[i-1].SharedResistanceKPerW {
+			panic("cooling: Table III resistances not strictly increasing")
+		}
+	}
+	return cfgs
+}()
+
 // PowerForResistance interpolates the cooling power required to
 // realize a given shared thermal resistance, using the four Table III
 // anchor points (linear between anchors, linear extrapolation past
-// the ends). Lower resistance (better cooling) costs more power.
+// the ends). Lower resistance (better cooling) costs more power; past
+// the weak-cooling end the extrapolation is clamped at zero watts —
+// free convection needs no fan power, never negative power.
 func PowerForResistance(r float64) float64 {
-	cfgs := Configs()
-	sort.Slice(cfgs, func(i, j int) bool {
-		return cfgs[i].SharedResistanceKPerW < cfgs[j].SharedResistanceKPerW
-	})
 	interp := func(a, b Config) float64 {
 		t := (r - a.SharedResistanceKPerW) / (b.SharedResistanceKPerW - a.SharedResistanceKPerW)
 		return a.CoolingPowerW + t*(b.CoolingPowerW-a.CoolingPowerW)
 	}
+	var w float64
 	switch {
-	case r <= cfgs[0].SharedResistanceKPerW:
-		return interp(cfgs[0], cfgs[1])
-	case r >= cfgs[len(cfgs)-1].SharedResistanceKPerW:
-		return interp(cfgs[len(cfgs)-2], cfgs[len(cfgs)-1])
-	}
-	for i := 0; i+1 < len(cfgs); i++ {
-		if r <= cfgs[i+1].SharedResistanceKPerW {
-			return interp(cfgs[i], cfgs[i+1])
+	case r <= anchors[0].SharedResistanceKPerW:
+		w = interp(anchors[0], anchors[1])
+	case r >= anchors[len(anchors)-1].SharedResistanceKPerW:
+		w = interp(anchors[len(anchors)-2], anchors[len(anchors)-1])
+	default:
+		for i := 0; i+1 < len(anchors); i++ {
+			if r <= anchors[i+1].SharedResistanceKPerW {
+				w = interp(anchors[i], anchors[i+1])
+				break
+			}
 		}
 	}
-	return cfgs[len(cfgs)-1].CoolingPowerW
+	if w < 0 {
+		return 0
+	}
+	return w
 }

@@ -98,3 +98,23 @@ func TestPowerForResistanceExtrapolation(t *testing.T) {
 		t.Fatal("extrapolation beyond Cfg4 not cheaper")
 	}
 }
+
+// TestPowerForResistanceNonNegative pins the extrapolation clamp:
+// large resistances used to extrapolate the Cfg3->Cfg4 line to
+// negative watts; cooling power is now floored at zero.
+func TestPowerForResistanceNonNegative(t *testing.T) {
+	// The Cfg3->Cfg4 line (slope ~-6.7 W per K/W) crosses zero near
+	// r=3.7; everything past it must clamp, not go negative.
+	for _, r := range []float64{3.7, 5, 10, 100} {
+		if p := PowerForResistance(r); p < 0 {
+			t.Errorf("PowerForResistance(%.1f) = %.3f W, want >= 0", r, p)
+		}
+	}
+	if p := PowerForResistance(100); p != 0 {
+		t.Errorf("PowerForResistance(100) = %.3f W, want exactly 0", p)
+	}
+	// The clamp must not disturb the in-range interpolation.
+	if p := PowerForResistance(2.5); p <= 0 || p >= 10.78 {
+		t.Errorf("PowerForResistance(2.5) = %.3f W, want in (0, 10.78)", p)
+	}
+}

@@ -176,6 +176,40 @@ func TestShardWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// TestThermalWorkerDeterminism: the thermal feedback family fans its
+// (cooling x rate) cells — each a closed loop of throttle decorator,
+// RC runtime and drivers — across the pool; sweep, placement and the
+// controller telemetry inside them must render byte-identically
+// between Workers=1 and Workers=8 and across repeated runs.
+func TestThermalWorkerDeterminism(t *testing.T) {
+	for _, e := range Thermal() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			serial, err := e.Run(fastOpts(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := e.Run(fastOpts(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Table() != parallel.Table() {
+				t.Errorf("%s text differs between Workers=1 and Workers=8", e.ID)
+			}
+			if serial.CSV() != parallel.CSV() {
+				t.Errorf("%s CSV differs between Workers=1 and Workers=8", e.ID)
+			}
+			replay, err := e.Run(fastOpts(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parallel.Table() != replay.Table() {
+				t.Errorf("%s not reproducible across runs at Workers=8", e.ID)
+			}
+		})
+	}
+}
+
 // TestBackendMatrixWorkerDeterminism: the cross-backend matrix fans
 // (shape x backend) cells — including chain cells whose cubes fail
 // and reroute in other tests — across the pool; its output must be

@@ -34,6 +34,16 @@ type Options struct {
 	// simulation's shard mesh. Results are byte-identical at every
 	// value; 0 or 1 runs each simulation sequentially.
 	Shards int
+	// Thermal closes the thermal/power feedback loop on the
+	// scenario-backed experiments (the scn-* library, the cross-backend
+	// matrix and the load-latency sweeps): live RC temperatures
+	// throttle the backends while they run. The sharded library is
+	// single-engine-excluded and ignores the opt-in; the ext-thermal-*
+	// family is always closed-loop regardless.
+	Thermal bool
+	// Cooling names the Table III environment for Thermal
+	// ("Cfg1".."Cfg4", default Cfg2).
+	Cooling string
 	// Context cancels in-flight sweeps when done (nil = background).
 	Context context.Context
 	// Progress, when non-nil, is called after each simulation cell of

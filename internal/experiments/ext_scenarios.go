@@ -35,7 +35,10 @@ func Scenarios() []Experiment {
 
 // scenarioOptions maps experiment options onto the scenario runner.
 func scenarioOptions(o Options) scenario.Options {
-	return scenario.Options{Warmup: o.Warmup, Measure: o.Measure, Seed: o.Seed, Shards: o.Shards}
+	return scenario.Options{
+		Warmup: o.Warmup, Measure: o.Measure, Seed: o.Seed, Shards: o.Shards,
+		Thermal: o.Thermal, Cooling: o.Cooling,
+	}
 }
 
 // runScenarioOverview fans every builtin scenario out across the

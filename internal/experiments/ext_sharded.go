@@ -22,7 +22,7 @@ func ShardedScenarios() []Experiment {
 			ID:    "scn-" + spec.Name,
 			Title: "Scenario: " + spec.Description,
 			Run: func(o Options) (Report, error) {
-				res, err := scenario.Run(spec, scenarioOptions(o))
+				res, err := scenario.Run(spec, shardedOptions(o))
 				if err != nil {
 					return Report{}, err
 				}
@@ -31,6 +31,16 @@ func ShardedScenarios() []Experiment {
 		})
 	}
 	return out
+}
+
+// shardedOptions is scenarioOptions minus the thermal opt-in: the
+// feedback loop is single-engine (scenario.Run rejects it on meshes),
+// so the partitioned library runs open-loop even when the caller set
+// Options.Thermal for the rest of the registry.
+func shardedOptions(o Options) scenario.Options {
+	so := scenarioOptions(o)
+	so.Thermal, so.Cooling = false, ""
+	return so
 }
 
 // runShardedOverview runs every partitioned spec and tabulates the
@@ -44,7 +54,7 @@ func runShardedOverview(o Options) (Report, error) {
 		Cols:  []string{"Scenario", "Backend", "Groups", "Tenants", "Raw GB/s", "Data GB/s", "MRPS", "Read lat avg ns"},
 	}
 	for _, spec := range specs {
-		res, err := scenario.Run(spec, scenarioOptions(o))
+		res, err := scenario.Run(spec, shardedOptions(o))
 		if err != nil {
 			return Report{}, err
 		}

@@ -27,14 +27,15 @@ func Extensions() []Experiment {
 
 // AllWithExtensions returns the paper registry followed by the
 // extension experiments, the scenario library, the cross-backend
-// layer, the load-latency characterization family, and the
-// sharded-system library.
+// layer, the load-latency characterization family, the sharded-system
+// library, and the closed-loop thermal feedback family.
 func AllWithExtensions() []Experiment {
 	out := append(All(), Extensions()...)
 	out = append(out, Scenarios()...)
 	out = append(out, Backends()...)
 	out = append(out, LoadLatency()...)
-	return append(out, ShardedScenarios()...)
+	out = append(out, ShardedScenarios()...)
+	return append(out, Thermal()...)
 }
 
 // ExtReadRatioData holds the read-ratio sweep.

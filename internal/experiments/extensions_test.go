@@ -27,8 +27,12 @@ func TestExtensionsRegistry(t *testing.T) {
 	if want := 1 + 4; len(shards) != want { // overview + one per sharded spec
 		t.Fatalf("%d sharded experiments, want %d", len(shards), want)
 	}
+	therms := Thermal()
+	if want := 3 + 1; len(therms) != want { // one sweep per backend + placement
+		t.Fatalf("%d thermal experiments, want %d", len(therms), want)
+	}
 	all := AllWithExtensions()
-	if want := 17 + len(exts) + len(scns) + len(backs) + len(lls) + len(shards); len(all) != want {
+	if want := 17 + len(exts) + len(scns) + len(backs) + len(lls) + len(shards) + len(therms); len(all) != want {
 		t.Fatalf("%d combined experiments, want %d", len(all), want)
 	}
 	for _, e := range exts {

@@ -56,6 +56,11 @@ type Figure9Data struct {
 	// config exceeds the workload's thermal threshold — those configs
 	// are absent from the paper's figure.
 	ConfigFailed map[gups.ReqType]map[string]bool
+	// Runaway[config] is true when the leakage fixed point diverges
+	// under that configuration — the network has no finite steady
+	// state at any load, which is a different failure than tripping a
+	// shutdown threshold and is rendered distinctly.
+	Runaway map[string]bool
 	// SettleSeconds confirms the paper's 200 s stabilization window.
 	SettleSeconds float64
 }
@@ -73,6 +78,7 @@ func Figure9(o Options) (*Figure9Data, error) {
 		Cells:         cells,
 		TempC:         map[gups.ReqType]map[string]map[string]float64{},
 		ConfigFailed:  map[gups.ReqType]map[string]bool{},
+		Runaway:       map[string]bool{},
 		SettleSeconds: 200,
 	}
 	for _, p := range workloads.Standard() {
@@ -85,7 +91,10 @@ func Figure9(o Options) (*Figure9Data, error) {
 		}
 		writeSig := c.Type != gups.ReadOnly
 		for _, cfg := range cooling.Configs() {
-			temp := tm.SteadySurfaceC(cfg, pm, c.Activity)
+			temp, ok := tm.SteadySurface(cfg, pm, c.Activity)
+			if !ok {
+				d.Runaway[cfg.Name] = true
+			}
 			if d.TempC[c.Type][cfg.Name] == nil {
 				d.TempC[c.Type][cfg.Name] = map[string]float64{}
 			}
@@ -132,7 +141,10 @@ func (d *Figure9Data) Report() Report {
 			row := []string{pat, f2(d.BWOf(ty, pat))}
 			for _, cfg := range cooling.Configs() {
 				cell := f1(d.TempC[ty][cfg.Name][pat])
-				if d.ConfigFailed[ty][cfg.Name] {
+				switch {
+				case d.Runaway[cfg.Name]:
+					cell += " (RUNAWAY)"
+				case d.ConfigFailed[ty][cfg.Name]:
 					cell += " (FAIL)"
 				}
 				row = append(row, cell)
@@ -143,9 +155,14 @@ func (d *Figure9Data) Report() Report {
 	}
 	notes := []string{
 		"configs marked FAIL trip the thermal shutdown during the sweep and are absent from the paper's figure",
-		fmt.Sprintf("read-only shown configs: %v; write-only: %v; read-modify-write: %v",
-			d.ShownConfigs(gups.ReadOnly), d.ShownConfigs(gups.WriteOnly), d.ShownConfigs(gups.ReadModifyWrite)),
 	}
+	if len(d.Runaway) > 0 {
+		notes = append(notes,
+			"RUNAWAY marks a diverging leakage fixed point (no finite steady state) rather than an ordinary shutdown")
+	}
+	notes = append(notes,
+		fmt.Sprintf("read-only shown configs: %v; write-only: %v; read-modify-write: %v",
+			d.ShownConfigs(gups.ReadOnly), d.ShownConfigs(gups.WriteOnly), d.ShownConfigs(gups.ReadModifyWrite)))
 	return Report{ID: "figure9", Title: "Temperature and Bandwidth Across Patterns", Grids: grids, Notes: notes}
 }
 
@@ -193,7 +210,10 @@ func (d *Figure10Data) Report() Report {
 			row := []string{pat, f2(d.Fig9.BWOf(ty, pat))}
 			for _, cfg := range cooling.Configs() {
 				cell := f1(d.PowerW[ty][cfg.Name][pat])
-				if d.Fig9.ConfigFailed[ty][cfg.Name] {
+				switch {
+				case d.Fig9.Runaway[cfg.Name]:
+					cell += " (RUNAWAY)"
+				case d.Fig9.ConfigFailed[ty][cfg.Name]:
 					cell += " (FAIL)"
 				}
 				row = append(row, cell)

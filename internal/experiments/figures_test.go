@@ -119,6 +119,70 @@ func TestFigure9Shape(t *testing.T) {
 	if hottest < 75 || hottest > 85 {
 		t.Errorf("ro Cfg4 peak = %.1f C, want ~80", hottest)
 	}
+	// No config runs away under the default models; the report shows
+	// plain FAIL cells, never RUNAWAY.
+	if len(d.Runaway) != 0 {
+		t.Errorf("unexpected runaway configs: %v", d.Runaway)
+	}
+}
+
+// TestFigure9RunawayRendering pins the runaway indicator: a diverging
+// leakage fixed point renders as RUNAWAY, distinct from an ordinary
+// FAIL, in both the figure9 and figure10 grids.
+func TestFigure9RunawayRendering(t *testing.T) {
+	d := &Figure9Data{
+		Patterns: []string{"16 vaults"},
+		Cells: []ThermalCell{{
+			Pattern: "16 vaults", Type: gups.ReadOnly,
+			Result: gups.Result{RawGBps: 20},
+		}},
+		TempC: map[gups.ReqType]map[string]map[string]float64{
+			gups.ReadOnly: {
+				"Cfg1": {"16 vaults": 60},
+				"Cfg2": {"16 vaults": 90},
+				"Cfg3": {"16 vaults": 300},
+				"Cfg4": {"16 vaults": 300},
+			},
+		},
+		ConfigFailed: map[gups.ReqType]map[string]bool{
+			gups.ReadOnly: {"Cfg2": true, "Cfg3": true, "Cfg4": true},
+		},
+		Runaway: map[string]bool{"Cfg3": true, "Cfg4": true},
+	}
+	rep := d.Report()
+	row := rep.Grids[0].Rows[0]
+	// Columns: Pattern, BW, Cfg1..Cfg4.
+	if strings.Contains(row[2], "FAIL") || strings.Contains(row[2], "RUNAWAY") {
+		t.Errorf("healthy Cfg1 cell %q carries a failure marker", row[2])
+	}
+	if !strings.Contains(row[3], "(FAIL)") || strings.Contains(row[3], "RUNAWAY") {
+		t.Errorf("shutdown Cfg2 cell %q, want plain FAIL", row[3])
+	}
+	for i, cfg := range []string{"Cfg3", "Cfg4"} {
+		if cell := row[4+i]; !strings.Contains(cell, "(RUNAWAY)") || strings.Contains(cell, "FAIL") {
+			t.Errorf("runaway %s cell %q, want RUNAWAY and not FAIL", cfg, cell)
+		}
+	}
+	var found bool
+	for _, n := range rep.Notes {
+		found = found || strings.Contains(n, "RUNAWAY")
+	}
+	if !found {
+		t.Error("runaway note missing from figure9 report")
+	}
+
+	f10 := &Figure10Data{Fig9: d, PowerW: map[gups.ReqType]map[string]map[string]float64{
+		gups.ReadOnly: {
+			"Cfg1": {"16 vaults": 110},
+			"Cfg2": {"16 vaults": 112},
+			"Cfg3": {"16 vaults": 120},
+			"Cfg4": {"16 vaults": 120},
+		},
+	}}
+	prow := f10.Report().Grids[0].Rows[0]
+	if !strings.Contains(prow[4], "(RUNAWAY)") || strings.Contains(prow[4], "FAIL") {
+		t.Errorf("figure10 runaway Cfg3 cell %q, want RUNAWAY and not FAIL", prow[4])
+	}
 }
 
 func TestFigure10Shape(t *testing.T) {

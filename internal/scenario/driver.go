@@ -6,6 +6,7 @@ import (
 	"hmcsim/internal/gups"
 	"hmcsim/internal/mem"
 	"hmcsim/internal/sim"
+	"hmcsim/internal/workloads"
 )
 
 // tenantDriver is one tenant's injector over a mem.Backend port: a
@@ -37,7 +38,10 @@ type tenantDriver struct {
 	// rejection (valid fraction > 1/2, so expected < 2 draws);
 	// deterministic cursor walks wrap with the modulo instead, since
 	// rejection could spin through the whole dead zone.
-	reject  bool
+	reject bool
+	// offset rotates fresh generator addresses (mod capacity): the
+	// tenant placement knob (Access.OffsetBytes).
+	offset  uint64
 	horizon sim.Time
 
 	// interval paces open-loop injection at the tenant's aggregate
@@ -92,11 +96,20 @@ func newTenantDriverPort(be mem.Backend, port mem.Port, t Tenant, ti int, o Opti
 	if window == 0 {
 		window = be.Limits().ReadDepth
 	}
+	var zeroMask uint64
+	if t.Pattern != "" && t.Pattern != "full" {
+		p, err := workloads.ByName(t.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		zeroMask = p.ZeroMask
+	}
 	d := &tenantDriver{
 		eng:  be.Engine(),
 		port: port,
 		gen: gups.NewAddrGenParams(gups.GenParams{
 			Mode: mode, Size: t.Size,
+			ZeroMask:    zeroMask,
 			CapMask:     be.CapMask(),
 			Seed:        gups.PortSeed(o.Seed, ti),
 			LinearStart: gups.PortLinearStart(ti),
@@ -114,6 +127,7 @@ func newTenantDriverPort(be mem.Backend, port mem.Port, t Tenant, ti int, o Opti
 		size:      t.Size,
 		window:    window * t.Ports,
 		capacity:  be.CapacityBytes(),
+		offset:    t.Access.OffsetBytes,
 		reject:    mode == gups.Random || mode == gups.Zipfian || mode == gups.Hotspot,
 		horizon:   horizon,
 		interval:  iv,
@@ -179,6 +193,11 @@ func (d *tenantDriver) nextOp() (addr uint64, write bool) {
 	} else {
 		addr %= d.capacity
 	}
+	if d.offset != 0 {
+		// Rotate only fresh addresses — RMW write-backs replay the
+		// already-rotated read address.
+		addr = (addr + d.offset) % d.capacity
+	}
 	write = d.write
 	if d.mixed {
 		write = d.mixRNG.Float64() >= d.readFrac
@@ -227,8 +246,21 @@ func (d *tenantDriver) done(r mem.Result, write bool) {
 
 // runDrivers executes the (defaulted) spec's tenants over a built
 // backend: warmup, monitor reset, measured window, per-tenant stats.
+// With Options.Thermal the backend is wrapped in the throttle
+// decorator and the feedback runtime samples it throughout both
+// windows (the device heats during warmup, like real hardware).
 func runDrivers(spec Spec, o Options, be mem.Backend) (Result, error) {
 	horizon := o.Warmup + o.Measure
+	var loop *thermalLoop
+	if o.Thermal {
+		var err error
+		loop, err = buildThermalLoop(o, be)
+		if err != nil {
+			return Result{}, err
+		}
+		be = loop.throttle
+		loop.runtime.Start(horizon)
+	}
 	drivers := make([]*tenantDriver, len(spec.Tenants))
 	for ti, t := range spec.Tenants {
 		d, err := newTenantDriver(be, t, ti, o, horizon)
@@ -259,5 +291,8 @@ func runDrivers(spec Spec, o Options, be mem.Backend) (Result, error) {
 		res.Tenants = append(res.Tenants, a.stats(spec.Tenants[ti].Name, secs))
 	}
 	res.Total = total.stats("total", secs)
+	if loop != nil {
+		res.Thermal = loop.stats()
+	}
 	return res, nil
 }

@@ -28,6 +28,18 @@ type Options struct {
 	// rendering, so recorded report formats stay stable unless a
 	// caller opts in.
 	Tail bool
+	// Thermal closes the thermal/power feedback loop: a runtime
+	// advances per-zone lumped-RC surface temperatures from live
+	// backend counters and throttles (then shuts down) the backend as
+	// derate thresholds are crossed, recovering with hysteresis.
+	// Single-engine runs only (Groups == 1); the report gains a
+	// thermal grid, so recorded formats change only when a caller
+	// opts in.
+	Thermal bool
+	// Cooling names the Table III cooling environment the feedback
+	// loop simulates ("Cfg1".."Cfg4", default Cfg2). Ignored unless
+	// Thermal is set.
+	Cooling string
 	// Shards is the requested worker count for sharded specs
 	// (Spec.Groups > 1): how many goroutines execute the PDES mesh's
 	// shards concurrently, arbitrated against the process-wide
@@ -123,6 +135,9 @@ type Result struct {
 	// Tail mirrors Options.Tail: Report appends the tail-latency
 	// percentile grid when set.
 	Tail bool
+	// Thermal carries the feedback-loop telemetry when the run was
+	// made with Options.Thermal; nil otherwise.
+	Thermal *ThermalStats
 }
 
 // Run compiles and executes a scenario on its backend.
@@ -139,10 +154,21 @@ func Run(spec Spec, o Options) (Result, error) {
 		o.Measure = spec.Measure
 	}
 	if spec.Groups > 1 || o.forceMesh {
+		if o.Thermal {
+			return Result{}, fmt.Errorf("scenario %q: thermal feedback runs on the single-engine path (Groups == 1)", spec.Name)
+		}
 		return runSharded(spec, o)
+	}
+	if o.Thermal {
+		if err := validateThermal(spec, o); err != nil {
+			return Result{}, err
+		}
 	}
 	switch spec.Backend {
 	case "hmc":
+		if o.Thermal {
+			return runHMCThermal(spec, o)
+		}
 		return runSingle(spec, o)
 	case "ddr4":
 		return runDDR(spec, o)

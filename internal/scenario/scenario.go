@@ -50,6 +50,12 @@ type Access struct {
 	StrideBytes uint64
 	// JumpEvery is the seqjump run length; 0 selects 32.
 	JumpEvery int
+	// OffsetBytes rotates the tenant's generated addresses by a fixed
+	// byte offset (modulo capacity) — the placement knob: a hotspot
+	// tenant's hot set sits at the bottom of the address space, so the
+	// offset chooses which cube of a chain absorbs it. Generic-driver
+	// backends only (ddr4, chain); must be request-size aligned.
+	OffsetBytes uint64
 }
 
 // Tenant is one traffic source: a named slice of the generator's
@@ -310,6 +316,14 @@ func (s Spec) Validate() error {
 			}
 			if _, err := workloads.ByName(t.Pattern); err != nil {
 				return fmt.Errorf("scenario %q tenant %q: %w", s.Name, t.Name, err)
+			}
+		}
+		if t.Access.OffsetBytes != 0 {
+			if s.Backend == "hmc" {
+				return fmt.Errorf("scenario %q tenant %q: placement offsets run on the generic-driver backends (ddr4, chain)", s.Name, t.Name)
+			}
+			if t.Access.OffsetBytes%uint64(t.Size) != 0 {
+				return fmt.Errorf("scenario %q tenant %q: offset %d not aligned to request size %d", s.Name, t.Name, t.Access.OffsetBytes, t.Size)
 			}
 		}
 		if t.Home < 0 || t.Home >= s.Groups {

@@ -1,0 +1,214 @@
+package thermal
+
+import (
+	"testing"
+
+	"hmcsim/internal/cooling"
+	"hmcsim/internal/mem"
+	"hmcsim/internal/sim"
+)
+
+func testBackend(t *testing.T) *mem.DDR {
+	t.Helper()
+	be, err := mem.NewDDR(sim.NewEngine(), mem.DDRConfig{Channels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return be
+}
+
+func fastConfig(t *testing.T, name string) RuntimeConfig {
+	t.Helper()
+	c, err := cooling.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultRuntimeConfig(c)
+	cfg.SampleInterval = 200 * sim.Nanosecond
+	cfg.TauSim = 4 * sim.Microsecond
+	return cfg
+}
+
+// pump keeps a closed-loop write stream running until the deadline,
+// resubmitting on every completion (including rejections, like the
+// scenario drivers do).
+func pump(th *mem.Throttle, window int, deadline sim.Time) {
+	eng := th.Engine()
+	port := th.Port(0)
+	addr := uint64(0)
+	var done mem.Done
+	done = func(mem.Result) {
+		if eng.Now() >= deadline {
+			return
+		}
+		addr = (addr + 4096) & th.CapMask()
+		port.Submit(mem.Request{Addr: addr, Size: 128, Write: true}, done)
+	}
+	for i := 0; i < window; i++ {
+		addr = (addr + 4096) & th.CapMask()
+		port.Submit(mem.Request{Addr: addr, Size: 128, Write: true}, done)
+	}
+}
+
+// TestRuntimeIdleHoldsIdleTemperature: with no traffic the zone sits
+// at the cooling configuration's idle temperature and never throttles.
+func TestRuntimeIdleHoldsIdleTemperature(t *testing.T) {
+	be := testBackend(t)
+	th := mem.NewThrottle(be, 1, nil, be.MinLatency()/2)
+	cfg := fastConfig(t, "Cfg4")
+	rt, err := NewRuntime(th, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := sim.Time(100 * sim.Microsecond)
+	rt.Start(deadline)
+	be.Engine().RunUntil(deadline)
+	s := rt.ZoneStats(0)
+	idle := cfg.Model.IdleSurfaceC(cfg.Cooling)
+	if d := s.FinalC - idle; d < -0.01 || d > 0.01 {
+		t.Errorf("idle temperature drifted to %.2fC, want %.2fC", s.FinalC, idle)
+	}
+	if s.LevelUps != 0 || s.Shutdowns != 0 || s.Samples == 0 {
+		t.Errorf("idle run throttled: %+v", s)
+	}
+}
+
+// TestRuntimeHeatsAndThrottles: a saturating write stream under the
+// weakest cooling heats past the derate threshold, engages throttle
+// levels, and the stretch is visible at the throttle.
+func TestRuntimeHeatsAndThrottles(t *testing.T) {
+	be := testBackend(t)
+	th := mem.NewThrottle(be, 1, nil, be.MinLatency()/2)
+	cfg := fastConfig(t, "Cfg4")
+	cfg.ShutdownC = 1000 // isolate derating from shutdown
+	rt, err := NewRuntime(th, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := sim.Time(200 * sim.Microsecond)
+	rt.Start(deadline)
+	pump(th, 8, deadline)
+	be.Engine().RunUntil(deadline)
+	s := rt.ZoneStats(0)
+	if s.MaxC <= cfg.DerateC {
+		t.Fatalf("peak %.1fC never crossed derate %.1fC", s.MaxC, cfg.DerateC)
+	}
+	if s.LevelUps == 0 || s.ThrottledFrac == 0 {
+		t.Errorf("no throttling recorded: %+v", s)
+	}
+	if s.Runaway {
+		t.Error("default models reported runaway")
+	}
+	// Feedback: the controller's last level is what the throttle sees.
+	if th.Level(0) != s.Level {
+		t.Errorf("throttle level %d, runtime level %d", th.Level(0), s.Level)
+	}
+}
+
+// TestRuntimeShutdownAndRecovery: a low shutdown threshold trips under
+// load; rejected traffic stops heating the device, temperature decays,
+// and hysteresis restores service — the full oscillation.
+func TestRuntimeShutdownAndRecovery(t *testing.T) {
+	be := testBackend(t)
+	th := mem.NewThrottle(be, 1, nil, be.MinLatency()/2)
+	cfg := fastConfig(t, "Cfg4")
+	cfg.DerateC = 74
+	cfg.ShutdownC = 76
+	rt, err := NewRuntime(th, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := sim.Time(400 * sim.Microsecond)
+	rt.Start(deadline)
+	pump(th, 8, deadline)
+	be.Engine().RunUntil(deadline)
+	s := rt.ZoneStats(0)
+	if s.Shutdowns == 0 {
+		t.Fatalf("shutdown never tripped: %+v", s)
+	}
+	if s.ShutdownFrac <= 0 || s.ShutdownFrac >= 1 {
+		t.Errorf("shutdown fraction %.2f, want oscillation strictly inside (0,1)", s.ShutdownFrac)
+	}
+	if th.Rejected() == 0 {
+		t.Error("no accesses rejected during shutdown")
+	}
+	// Recovery happened: after the run the device is not pinned down,
+	// or it shut down again — either way service resumed at least once.
+	if s.Shutdowns >= 1 && s.ShutdownFrac > 0.95 {
+		t.Errorf("device never recovered: %+v", s)
+	}
+}
+
+// TestRuntimeZoneShadow: a scaled-resistance zone idles hotter and is
+// throttled independently of the unscaled zone.
+func TestRuntimeZoneShadow(t *testing.T) {
+	be := testBackend(t)
+	half := be.CapacityBytes() / 2
+	zoneOf := func(addr uint64) int { return int(addr / half % 2) }
+	th := mem.NewThrottle(be, 2, zoneOf, be.MinLatency()/2)
+	cfg := fastConfig(t, "Cfg2")
+	cfg.ZoneResistanceScale = []float64{1, 1.5}
+	rt, err := NewRuntime(th, cfg, func(int) mem.Counters { return th.Counters() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := sim.Time(50 * sim.Microsecond)
+	rt.Start(deadline)
+	be.Engine().RunUntil(deadline)
+	s0, s1 := rt.ZoneStats(0), rt.ZoneStats(1)
+	if s1.FinalC <= s0.FinalC {
+		t.Errorf("shadowed zone %.1fC not hotter than clean zone %.1fC", s1.FinalC, s0.FinalC)
+	}
+	if rt.HottestZone() != 1 {
+		t.Errorf("hottest zone %d, want 1", rt.HottestZone())
+	}
+}
+
+// TestRuntimeValidation: malformed configurations are rejected.
+func TestRuntimeValidation(t *testing.T) {
+	be := testBackend(t)
+	th := mem.NewThrottle(be, 2, func(uint64) int { return 0 }, be.MinLatency())
+	good := fastConfig(t, "Cfg1")
+	if _, err := NewRuntime(nil, good, nil); err == nil {
+		t.Error("nil throttle accepted")
+	}
+	if _, err := NewRuntime(th, good, nil); err == nil {
+		t.Error("multi-zone runtime without counter source accepted")
+	}
+	bad := good
+	bad.SampleInterval = 0
+	if _, err := NewRuntime(th, bad, func(int) mem.Counters { return mem.Counters{} }); err == nil {
+		t.Error("zero sample interval accepted")
+	}
+	bad = good
+	bad.ShutdownC = bad.DerateC - 10
+	if _, err := NewRuntime(th, bad, func(int) mem.Counters { return mem.Counters{} }); err == nil {
+		t.Error("shutdown below derate accepted")
+	}
+	bad = good
+	bad.ZoneResistanceScale = []float64{1}
+	if _, err := NewRuntime(th, bad, func(int) mem.Counters { return mem.Counters{} }); err == nil {
+		t.Error("mismatched zone scale length accepted")
+	}
+}
+
+// TestRuntimeFireZeroAlloc: the periodic thermal update allocates
+// nothing — it rides the same zero-alloc Handler path as the rest of
+// the kernel.
+func TestRuntimeFireZeroAlloc(t *testing.T) {
+	be := testBackend(t)
+	th := mem.NewThrottle(be, 1, nil, be.MinLatency()/2)
+	rt, err := NewRuntime(th, fastConfig(t, "Cfg4"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := be.Engine()
+	// horizon stays at zero so Fire never reschedules; the engine's
+	// own ScheduleHandler path has its own zero-alloc gate.
+	for i := 0; i < 64; i++ {
+		rt.Fire(eng)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { rt.Fire(eng) }); allocs > 0 {
+		t.Errorf("thermal update allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -65,20 +65,33 @@ func (m Model) IdleSurfaceC(cfg cooling.Config) float64 {
 	return m.AmbientC + cfg.SharedResistanceKPerW*(m.FPGAHeatW+m.HMCIdleW) + m.LocalRKPerW*m.HMCIdleW
 }
 
-// SteadySurfaceC solves the steady-state surface temperature under a
+// SteadySurface solves the steady-state surface temperature under a
 // cooling configuration for a device activity profile, including the
 // leakage-temperature fixed point (leakage heats, heat raises
-// leakage).
-func (m Model) SteadySurfaceC(cfg cooling.Config, pm power.Model, a power.Activity) float64 {
+// leakage). ok is false when the fixed point diverges — the leakage
+// gain mult*LeakWPerK reaches 1 and the network has no finite steady
+// state (thermal runaway); the returned temperature is then the
+// runaway-guard clamp and must not be reported as a real operating
+// point.
+func (m Model) SteadySurface(cfg cooling.Config, pm power.Model, a power.Activity) (surfaceC float64, ok bool) {
 	idle := m.IdleSurfaceC(cfg)
 	dyn := pm.DeviceDynamicW(a)
 	// T = idle + mult*(dyn + k*(T-idle))  =>  T-idle = mult*dyn/(1-mult*k)
 	mult := cfg.SharedResistanceKPerW + m.LocalRKPerW
 	denom := 1 - mult*pm.LeakWPerK
-	if denom <= 0.05 {
+	ok = denom > 0.05
+	if !ok {
 		denom = 0.05 // thermal runaway guard; clamps the fixed point
 	}
-	return idle + mult*dyn/denom
+	return idle + mult*dyn/denom, ok
+}
+
+// SteadySurfaceC is SteadySurface without the runaway indicator; on
+// runaway it returns the clamped guard value. Prefer SteadySurface
+// where a bogus finite temperature could be mistaken for a real one.
+func (m Model) SteadySurfaceC(cfg cooling.Config, pm power.Model, a power.Activity) float64 {
+	c, _ := m.SteadySurface(cfg, pm, a)
+	return c
 }
 
 // JunctionC converts a surface temperature to the in-package junction
@@ -101,21 +114,27 @@ func (m Model) Exceeds(surfaceC float64, writeSignificant bool) bool {
 
 // Transient integrates the first-order response from a starting
 // surface temperature toward the steady-state target, sampling every
-// stepSeconds for totalSeconds. It returns the sampled curve
-// (including t=0) — the paper's 200 s settling runs.
+// stepSeconds for totalSeconds. It returns the sampled curve,
+// including t=0 and a final sample at exactly t=totalSeconds — when
+// the duration is not an integer multiple of the step, the endpoint
+// is still sampled (a 200 s run at 0.3 s steps ends at 200 s, not
+// 199.8 s), so the curve always reports the settled temperature the
+// paper's 200 s runs read off.
 func (m Model) Transient(startC, steadyC, totalSeconds, stepSeconds float64) []float64 {
 	if stepSeconds <= 0 || totalSeconds < 0 {
 		return []float64{startC}
 	}
-	n := int(totalSeconds/stepSeconds) + 1
-	out := make([]float64, 0, n)
-	t := 0.0
-	for i := 0; i < n; i++ {
-		temp := steadyC + (startC-steadyC)*math.Exp(-t/m.TauSeconds)
-		out = append(out, temp)
-		t += stepSeconds
+	at := func(t float64) float64 {
+		return steadyC + (startC-steadyC)*math.Exp(-t/m.TauSeconds)
 	}
-	return out
+	out := make([]float64, 0, int(totalSeconds/stepSeconds)+2)
+	// i*step (not an accumulator) keeps sample times exact under
+	// floating-point; the loop stops strictly before the endpoint,
+	// which is appended exactly once below.
+	for i := 0; float64(i)*stepSeconds < totalSeconds; i++ {
+		out = append(out, at(float64(i)*stepSeconds))
+	}
+	return append(out, at(totalSeconds))
 }
 
 // SettledAfter reports whether the transient has converged to within
@@ -129,18 +148,32 @@ func (m Model) SettledAfter(startC, steadyC, seconds float64) bool {
 // would hold the surface at targetC for the given activity. It
 // returns an error if the target is below the floor achievable with
 // zero shared resistance.
+//
+// The leakage reference is the configuration's own idle temperature,
+// which depends on the resistance being solved for — so the
+// (resistance, idle, leakage) fixed point is iterated rather than
+// approximated. The leakage gain is small (LeakWPerK times a few
+// K/W), so the iteration converges geometrically; the result is
+// exactly consistent with SteadySurface: plugging the returned
+// resistance back into the network reproduces targetC.
 func (m Model) RequiredResistance(targetC float64, pm power.Model, a power.Activity) (float64, error) {
 	dyn := pm.DeviceDynamicW(a)
-	// Iterate the leakage fixed point on temperature (target is the
-	// temperature, so leakage is known exactly).
-	idleApprox := targetC // leakage reference uses the config idle; approximate with target
-	leak := pm.LeakageW(targetC, idleApprox)
-	hmcW := m.HMCIdleW + dyn + leak
-	floor := m.AmbientC + m.LocalRKPerW*hmcW
-	if targetC <= floor {
-		return 0, fmt.Errorf("thermal: target %.1fC unreachable (floor %.1fC at zero resistance)", targetC, floor)
+	leak, r := 0.0, 0.0
+	for i := 0; i < 64; i++ {
+		hmcW := m.HMCIdleW + dyn + leak
+		floor := m.AmbientC + m.LocalRKPerW*hmcW
+		if targetC <= floor {
+			return 0, fmt.Errorf("thermal: target %.1fC unreachable (floor %.1fC at zero resistance)", targetC, floor)
+		}
+		next := (targetC - floor) / (m.FPGAHeatW + hmcW)
+		idle := m.AmbientC + next*(m.FPGAHeatW+m.HMCIdleW) + m.LocalRKPerW*m.HMCIdleW
+		leak = pm.LeakageW(targetC, idle)
+		if math.Abs(next-r) < 1e-12 {
+			return next, nil
+		}
+		r = next
 	}
-	return (targetC - floor) / (m.FPGAHeatW + hmcW), nil
+	return r, nil
 }
 
 // CoolingPowerForTarget composes RequiredResistance with the Table III

@@ -1,0 +1,58 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"hmcsim/internal/cooling"
+	"hmcsim/internal/power"
+)
+
+// FuzzRequiredResistanceRoundTrip pins the (resistance, idle, leakage)
+// fixed point the leakage bugfix introduced: for any reachable target
+// temperature and activity, the resistance RequiredResistance solves
+// for must reproduce the target when plugged back into SteadySurface
+// on a cooling configuration with exactly that resistance — and the
+// fixed point must never return a negative resistance or a non-finite
+// temperature.
+func FuzzRequiredResistanceRoundTrip(f *testing.F) {
+	f.Add(70.0, 10.0, 60.0, 60.0, false)
+	f.Add(75.0, 22.5, 0.0, 135.0, true)
+	f.Add(85.0, 5.0, 40.0, 0.0, false)
+	f.Add(40.0, 0.0, 0.0, 0.0, false)
+	f.Fuzz(func(t *testing.T, targetC, gbps, readM, writeM float64, pureWrite bool) {
+		// Constrain to the model's physical envelope; the fuzzer's job
+		// is the fixed-point arithmetic, not input validation.
+		if math.IsNaN(targetC) || targetC < 30 || targetC > 120 {
+			t.Skip()
+		}
+		clamp := func(v, hi float64) float64 {
+			if math.IsNaN(v) || v < 0 {
+				return 0
+			}
+			return math.Min(v, hi)
+		}
+		a := power.Activity{
+			RawGBps:   clamp(gbps, 30),
+			ReadMRPS:  clamp(readM, 160),
+			WriteMRPS: clamp(writeM, 160),
+			PureWrite: pureWrite && clamp(readM, 160) == 0,
+		}
+		m, pm := DefaultModel(), power.DefaultModel()
+		r, err := m.RequiredResistance(targetC, pm, a)
+		if err != nil {
+			return // unreachable target: floor above targetC is a valid outcome
+		}
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			t.Fatalf("resistance %v for target %.2fC, activity %+v", r, targetC, a)
+		}
+		cfg := cooling.Config{Name: "fuzz", SharedResistanceKPerW: r}
+		got, ok := m.SteadySurface(cfg, pm, a)
+		if !ok {
+			t.Fatalf("solved resistance %.4f K/W runs away for target %.2fC, activity %+v", r, targetC, a)
+		}
+		if math.Abs(got-targetC) > 1e-6 {
+			t.Fatalf("round trip %.8fC != target %.8fC at r=%.6f, activity %+v", got, targetC, r, a)
+		}
+	})
+}

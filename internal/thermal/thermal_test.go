@@ -159,16 +159,112 @@ func TestFailureThresholds(t *testing.T) {
 func TestRequiredResistanceRoundTrip(t *testing.T) {
 	m := DefaultModel()
 	pm := power.DefaultModel()
-	// Target the Cfg2 steady temperature; the required resistance
-	// should be close to Cfg2's (leakage reference differs slightly).
+	// Target the Cfg2 steady temperature; with the leakage fixed
+	// point solved exactly, inversion reproduces Cfg2's resistance to
+	// float precision.
 	c2 := cfg(t, "Cfg2")
 	target := m.SteadySurfaceC(c2, pm, roFull)
 	r, err := m.RequiredResistance(target, pm, roFull)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(r-c2.SharedResistanceKPerW) > 0.15 {
-		t.Fatalf("required resistance %.3f, want ~%.3f", r, c2.SharedResistanceKPerW)
+	if math.Abs(r-c2.SharedResistanceKPerW) > 1e-9 {
+		t.Fatalf("required resistance %.6f, want %.6f", r, c2.SharedResistanceKPerW)
+	}
+}
+
+// TestRequiredResistanceLeakageFixedPoint pins the dropped-leakage
+// bug: the old code passed LeakageW(targetC, targetC) == 0, so the
+// solved resistance ignored leakage entirely. At a hot target the
+// implied leakage must be positive, and accounting for it must demand
+// strictly better (lower-resistance) cooling than the leak-free
+// inversion would.
+func TestRequiredResistanceLeakageFixedPoint(t *testing.T) {
+	m := DefaultModel()
+	pm := power.DefaultModel()
+	target := 70.0
+	r, err := m.RequiredResistance(target, pm, roFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The configuration's idle point at the solved resistance.
+	idle := m.AmbientC + r*(m.FPGAHeatW+m.HMCIdleW) + m.LocalRKPerW*m.HMCIdleW
+	leak := pm.LeakageW(target, idle)
+	if leak <= 0 {
+		t.Fatalf("implied leakage %.4f W at %.0fC target, want > 0", leak, target)
+	}
+	// Leak-free inversion (the old, buggy result).
+	noLeak := pm
+	noLeak.LeakWPerK = 0
+	rNoLeak, err := m.RequiredResistance(target, noLeak, roFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r >= rNoLeak {
+		t.Fatalf("leakage-aware resistance %.4f not below leak-free %.4f", r, rNoLeak)
+	}
+	// Self-consistency: the solved resistance closes the network
+	// equation with the leakage it implies.
+	hmcW := m.HMCIdleW + pm.DeviceDynamicW(roFull) + leak
+	back := m.AmbientC + r*(m.FPGAHeatW+hmcW) + m.LocalRKPerW*hmcW
+	if math.Abs(back-target) > 1e-6 {
+		t.Fatalf("network closure at solved resistance = %.4fC, want %.1fC", back, target)
+	}
+}
+
+// TestTransientEndpointSampled pins the endpoint-sampling bug: when
+// the duration is not an integer multiple of the step, the curve must
+// still end with a sample at exactly t=totalSeconds (a 200 s run at
+// 0.3 s steps used to stop at 199.8 s).
+func TestTransientEndpointSampled(t *testing.T) {
+	m := DefaultModel()
+	start, steady := 43.1, 60.0
+	curve := m.Transient(start, steady, 200, 0.3)
+	// 0, 0.3, ..., 199.8 (667 samples) plus the clamped endpoint.
+	if len(curve) != 668 {
+		t.Fatalf("curve length %d, want 668", len(curve))
+	}
+	wantEnd := steady + (start-steady)*math.Exp(-200/m.TauSeconds)
+	if got := curve[len(curve)-1]; math.Abs(got-wantEnd) > 1e-12 {
+		t.Fatalf("final sample %.6f, want value at exactly t=200 (%.6f)", got, wantEnd)
+	}
+	// Integer-multiple durations keep their historical shape: one
+	// sample per step including both endpoints.
+	if got := m.Transient(start, steady, 200, 1); len(got) != 201 {
+		t.Fatalf("integer-multiple curve length %d, want 201", len(got))
+	}
+	// Duration shorter than one step: t=0 plus the endpoint.
+	short := m.Transient(start, steady, 0.1, 0.3)
+	if len(short) != 2 || short[0] != start {
+		t.Fatalf("sub-step curve %v, want [start, at(0.1)]", short)
+	}
+}
+
+// TestSteadySurfaceRunawaySurfaced pins the runaway guard: a leakage
+// slope strong enough to diverge must be reported (ok=false), not
+// silently clamped into a bogus finite temperature.
+func TestSteadySurfaceRunawaySurfaced(t *testing.T) {
+	m := DefaultModel()
+	pm := power.DefaultModel()
+	c4 := cfg(t, "Cfg4")
+	// Defaults are stable everywhere.
+	if _, ok := m.SteadySurface(c4, pm, roFull); !ok {
+		t.Fatal("default model reported runaway at Cfg4")
+	}
+	// mult = 2.080 + 1.0 = 3.08 K/W; LeakWPerK = 0.5 W/K makes the
+	// loop gain 1.54 > 1: divergence.
+	hot := pm
+	hot.LeakWPerK = 0.5
+	c, ok := m.SteadySurface(c4, hot, roFull)
+	if ok {
+		t.Fatal("diverging fixed point reported ok")
+	}
+	if math.IsInf(c, 0) || math.IsNaN(c) {
+		t.Fatalf("runaway clamp not finite: %v", c)
+	}
+	// The legacy accessor still returns the clamped value.
+	if got := m.SteadySurfaceC(c4, hot, roFull); got != c {
+		t.Fatalf("SteadySurfaceC = %.2f, want clamp %.2f", got, c)
 	}
 }
 
