@@ -33,6 +33,7 @@ import (
 
 	"hmcsim/internal/experiments"
 	"hmcsim/internal/runner"
+	"hmcsim/internal/scenario"
 	"hmcsim/internal/sim"
 )
 
@@ -48,6 +49,9 @@ func main() {
 	ext := flag.Bool("ext", false, "include the extension experiments (ablations, projections)")
 	thermal := flag.Bool("thermal", false, "close the thermal/power feedback loop on scenario-backed experiments (scn-*, ext-backends, ext-loadlat)")
 	cooling := flag.String("cooling", "", "Table III cooling environment for -thermal: Cfg1..Cfg4 (default Cfg2)")
+	faults := flag.String("faults", "", "overlay a fault plan on scenario-backed experiments (see internal/fault; the ext-fault-* family always injects)")
+	faultRetries := flag.Int("fault-retries", 0, "retry errored scenario requests up to N times with exponential backoff")
+	faultDeadlineUs := flag.Float64("fault-deadline-us", 0, "abandon scenario requests older than this many simulated microseconds (0 = never)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	progress := flag.Bool("progress", false, "print per-cell sweep progress")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the registry run")
@@ -86,6 +90,11 @@ func main() {
 	opts.Shards = *shards
 	opts.Thermal = *thermal || *cooling != ""
 	opts.Cooling = *cooling
+	opts.Faults = scenario.Faults{
+		Plan:       *faults,
+		MaxRetries: *faultRetries,
+		Deadline:   sim.Duration(*faultDeadlineUs * float64(sim.Microsecond)),
+	}
 	opts.Context = ctx
 	if *progress {
 		opts.Progress = func(done, total int) {

@@ -10,6 +10,8 @@
 //	hmcsim -scenario zipfian -backend ddr4   # ... on another backend
 //	hmcsim -scenario zipfian -tail=false     # ... without the percentile grid
 //	hmcsim -scenario zipfian -thermal -cooling Cfg4  # ... with the feedback loop closed
+//	hmcsim -scenario chain-4 -faults "rate=0.01,fail=2@300us,repair=2@500us" \
+//	       -fault-retries 3 -fault-deadline-us 20    # ... under fault injection
 //	hmcsim -scenario-list               # list the scenario library
 //
 // Pattern names follow the paper's figures: "16 vaults", "8 vaults",
@@ -112,6 +114,10 @@ func main() {
 	thermal := flag.Bool("thermal", false, "close the thermal/power feedback loop on scenario runs: live RC temperatures throttle the backend")
 	coolingName := flag.String("cooling", "", "Table III cooling environment for -thermal: Cfg1..Cfg4 (default Cfg2)")
 	shards := flag.Int("shards", 1, "worker goroutines for sharded scenarios (Spec.Groups > 1); results are identical at every value")
+	faults := flag.String("faults", "", "inject faults into scenario runs: a fault plan like \"rate=0.01,fail=2@300us,repair=2@500us\" (see internal/fault)")
+	faultRetries := flag.Int("fault-retries", 0, "retry errored scenario requests up to N times with exponential backoff")
+	faultBackoffUs := flag.Float64("fault-backoff-us", 0, "base retry backoff in simulated microseconds (0 = the backend's latency floor)")
+	faultDeadlineUs := flag.Float64("fault-deadline-us", 0, "abandon scenario requests older than this many simulated microseconds (0 = never)")
 	flag.Parse()
 
 	if *insights {
@@ -133,6 +139,15 @@ func main() {
 	}
 	if (*thermal || *coolingName != "") && *scenarioName == "" {
 		fail(fmt.Errorf("-thermal/-cooling close the feedback loop on a scenario; combine them with -scenario"))
+	}
+	faultCfg := scenario.Faults{
+		Plan:       *faults,
+		MaxRetries: *faultRetries,
+		Backoff:    sim.Duration(*faultBackoffUs * float64(sim.Microsecond)),
+		Deadline:   sim.Duration(*faultDeadlineUs * float64(sim.Microsecond)),
+	}
+	if faultCfg.Active() && *scenarioName == "" {
+		fail(fmt.Errorf("-faults/-fault-* inject into a scenario; combine them with -scenario"))
 	}
 
 	if *scenarioName != "" {
@@ -159,6 +174,7 @@ func main() {
 			Thermal: *thermal || *coolingName != "",
 			Cooling: *coolingName,
 			Shards:  *shards,
+			Faults:  faultCfg,
 		})
 		if err != nil {
 			fail(err)

@@ -198,13 +198,23 @@ func (n *Network) Decode(addr uint64) (cube int, local uint64) {
 
 // FailCube marks a cube failed (thermal shutdown or link loss); its
 // DRAM is unreachable and, in a chain, so is everything behind it.
+// Out-of-range indexes are ignored: failure schedules are scripts
+// (fault plans, operator input), and a script naming a cube this
+// topology does not have is a no-op, not a crash.
 func (n *Network) FailCube(i int) {
+	if i < 0 || i >= len(n.cubes) {
+		return
+	}
 	n.failed[i] = true
 	n.cubes[i].TriggerThermalFailure()
 }
 
 // RepairCube restores a failed cube (data lost, per the device model).
+// Out-of-range indexes are ignored, matching FailCube.
 func (n *Network) RepairCube(i int) {
+	if i < 0 || i >= len(n.cubes) {
+		return
+	}
 	n.failed[i] = false
 	n.cubes[i].Reset()
 }

@@ -170,3 +170,30 @@ func TestTopologyString(t *testing.T) {
 		t.Fatal("topology strings wrong")
 	}
 }
+
+// TestFailRepairOutOfRange pins the bounds contract: FailCube and
+// RepairCube ignore indexes the topology does not have instead of
+// panicking — failure schedules are scripts, and a script naming a
+// missing cube is a no-op.
+func TestFailRepairOutOfRange(t *testing.T) {
+	_, nw := newNet(t, 4, Chain)
+	eng := nw.eng
+	for _, i := range []int{-1, 4, 1 << 20} {
+		nw.FailCube(i)
+		nw.RepairCube(i)
+	}
+	// The network is untouched: every cube still answers.
+	capBytes := uint64(4 << 30)
+	okAll := 0
+	for c := 0; c < 4; c++ {
+		nw.Access(eng.Now(), uint64(c)*capBytes, 128, false, func(r Result) {
+			if !r.Err {
+				okAll++
+			}
+		})
+	}
+	eng.Run()
+	if okAll != 4 {
+		t.Fatalf("%d of 4 cubes reachable after out-of-range fail/repair", okAll)
+	}
+}

@@ -238,3 +238,38 @@ func TestBackendMatrixWorkerDeterminism(t *testing.T) {
 		t.Error("backend matrix not reproducible across runs at Workers=8")
 	}
 }
+
+// TestFaultWorkerDeterminism: the fault family fans its ladder rungs,
+// timeline horizons and topology pair across the pool; injector
+// randomness is keyed by (seed, zone), never scheduling order, so
+// every grid — including the prefix-horizon outage slices — must
+// render byte-identically between Workers=1 and Workers=8 and across
+// repeated runs.
+func TestFaultWorkerDeterminism(t *testing.T) {
+	for _, e := range Faults() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			serial, err := e.Run(fastOpts(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := e.Run(fastOpts(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Table() != parallel.Table() {
+				t.Errorf("%s text differs between Workers=1 and Workers=8", e.ID)
+			}
+			if serial.CSV() != parallel.CSV() {
+				t.Errorf("%s CSV differs between Workers=1 and Workers=8", e.ID)
+			}
+			replay, err := e.Run(fastOpts(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parallel.Table() != replay.Table() {
+				t.Errorf("%s not reproducible across runs at Workers=8", e.ID)
+			}
+		})
+	}
+}

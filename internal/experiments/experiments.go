@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"hmcsim/internal/runner"
+	"hmcsim/internal/scenario"
 	"hmcsim/internal/sim"
 )
 
@@ -44,6 +45,12 @@ type Options struct {
 	// Cooling names the Table III environment for Thermal
 	// ("Cfg1".."Cfg4", default Cfg2).
 	Cooling string
+	// Faults overlays fault injection and client resilience on the
+	// scenario-backed experiments (field-by-field over each spec's
+	// own Faults; see scenario.Faults). Single-engine specs only —
+	// the sharded library rejects it; the ext-fault-* family always
+	// injects regardless.
+	Faults scenario.Faults
 	// Context cancels in-flight sweeps when done (nil = background).
 	Context context.Context
 	// Progress, when non-nil, is called after each simulation cell of

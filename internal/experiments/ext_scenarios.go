@@ -37,7 +37,7 @@ func Scenarios() []Experiment {
 func scenarioOptions(o Options) scenario.Options {
 	return scenario.Options{
 		Warmup: o.Warmup, Measure: o.Measure, Seed: o.Seed, Shards: o.Shards,
-		Thermal: o.Thermal, Cooling: o.Cooling,
+		Thermal: o.Thermal, Cooling: o.Cooling, Faults: o.Faults,
 	}
 }
 

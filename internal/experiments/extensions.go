@@ -28,14 +28,16 @@ func Extensions() []Experiment {
 // AllWithExtensions returns the paper registry followed by the
 // extension experiments, the scenario library, the cross-backend
 // layer, the load-latency characterization family, the sharded-system
-// library, and the closed-loop thermal feedback family.
+// library, the closed-loop thermal feedback family, and the
+// fault-injection resilience family.
 func AllWithExtensions() []Experiment {
 	out := append(All(), Extensions()...)
 	out = append(out, Scenarios()...)
 	out = append(out, Backends()...)
 	out = append(out, LoadLatency()...)
 	out = append(out, ShardedScenarios()...)
-	return append(out, Thermal()...)
+	out = append(out, Thermal()...)
+	return append(out, Faults()...)
 }
 
 // ExtReadRatioData holds the read-ratio sweep.

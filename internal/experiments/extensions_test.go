@@ -31,8 +31,12 @@ func TestExtensionsRegistry(t *testing.T) {
 	if want := 3 + 1; len(therms) != want { // one sweep per backend + placement
 		t.Fatalf("%d thermal experiments, want %d", len(therms), want)
 	}
+	faults := Faults()
+	if want := 3; len(faults) != want { // one fault family per backend
+		t.Fatalf("%d fault experiments, want %d", len(faults), want)
+	}
 	all := AllWithExtensions()
-	if want := 17 + len(exts) + len(scns) + len(backs) + len(lls) + len(shards) + len(therms); len(all) != want {
+	if want := 17 + len(exts) + len(scns) + len(backs) + len(lls) + len(shards) + len(therms) + len(faults); len(all) != want {
 		t.Fatalf("%d combined experiments, want %d", len(all), want)
 	}
 	for _, e := range exts {

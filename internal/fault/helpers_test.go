@@ -1,0 +1,74 @@
+package fault_test
+
+import (
+	"testing"
+
+	"hmcsim/internal/chain"
+	"hmcsim/internal/fault"
+	"hmcsim/internal/fpga"
+	"hmcsim/internal/hmc"
+	"hmcsim/internal/mem"
+	"hmcsim/internal/sim"
+)
+
+func buildHMC(t testing.TB) *mem.HMC {
+	t.Helper()
+	eng := sim.NewEngine()
+	amap, err := hmc.NewAddressMap(hmc.Geometries(hmc.HMC11), hmc.DefaultMaxBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := hmc.NewDevice(eng, hmc.DefaultParams(), amap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := fpga.NewController(eng, dev, fpga.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem.NewHMC(eng, dev, ctrl)
+}
+
+func buildDDR(t testing.TB, channels int) *mem.DDR {
+	t.Helper()
+	be, err := mem.NewDDR(sim.NewEngine(), mem.DDRConfig{Channels: channels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return be
+}
+
+func buildChain(t testing.TB, cubes int, topo chain.Topology) *mem.Chain {
+	t.Helper()
+	eng := sim.NewEngine()
+	nw, err := chain.NewNetwork(eng, cubes, topo, chain.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem.NewChain(eng, nw)
+}
+
+// backends returns one of each adapter for table tests.
+func backends(t testing.TB) []mem.Backend {
+	return []mem.Backend{buildHMC(t), buildDDR(t, 1), buildChain(t, 4, chain.Chain)}
+}
+
+// inject wraps inner with a must-succeed injector.
+func inject(t testing.TB, inner mem.Backend, cfg fault.Config) *fault.Injector {
+	t.Helper()
+	inj, err := fault.New(inner, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+// mustParse parses a plan or fails the test.
+func mustParse(t testing.TB, s string) fault.Plan {
+	t.Helper()
+	p, err := fault.ParsePlan(s)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", s, err)
+	}
+	return p
+}

@@ -1,0 +1,151 @@
+package fault_test
+
+import (
+	"testing"
+
+	"hmcsim/internal/fault"
+	"hmcsim/internal/mem"
+	"hmcsim/internal/sim"
+)
+
+// stack builds the two decorator orders over a fresh backend:
+// throttle-outside (the production wiring: injector at the device,
+// thermal throttle at the controller) and injector-outside.
+func stacks(t *testing.T) map[string]mem.Backend {
+	t.Helper()
+	mk := func(injectorInside bool) mem.Backend {
+		inner := buildDDR(t, 1)
+		if injectorInside {
+			inj := inject(t, inner, fault.Config{Plan: fault.Plan{Rate: 0.5}})
+			inj.Start(sim.Time(1) << 62)
+			return mem.NewThrottle(inj, 1, nil, inner.MinLatency()/2)
+		}
+		th := mem.NewThrottle(inner, 1, nil, inner.MinLatency()/2)
+		inj := inject(t, th, fault.Config{Plan: fault.Plan{Rate: 0.5}})
+		inj.Start(sim.Time(1) << 62)
+		return inj
+	}
+	return map[string]mem.Backend{
+		"throttle(injector(ddr4))": mk(true),
+		"injector(throttle(ddr4))": mk(false),
+	}
+}
+
+// TestStackContract: both decorator orders preserve the full
+// mem.Backend contract surface and deliver clean completions.
+func TestStackContract(t *testing.T) {
+	ref := buildDDR(t, 1)
+	for name, be := range stacks(t) {
+		t.Run(name, func(t *testing.T) {
+			if be.Name() != ref.Name() || be.CapacityBytes() != ref.CapacityBytes() ||
+				be.CapMask() != ref.CapMask() || be.MinLatency() != ref.MinLatency() ||
+				be.Limits() != ref.Limits() {
+				t.Error("stacked decorators changed the contract surface")
+			}
+			if be.WireBytes(true, 64) != ref.WireBytes(true, 64) {
+				t.Error("stacked decorators changed wire costs")
+			}
+			var r mem.Result
+			be.Port(0).Submit(mem.Request{Addr: 4096, Size: 64}, func(res mem.Result) { r = res })
+			be.Engine().Run()
+			if r.Err || r.Deliver <= r.Submit {
+				t.Errorf("completion through the stack: %+v", r)
+			}
+		})
+	}
+}
+
+// TestStackInnerWalk: the Inner() accessors peel the stack down to
+// the raw backend in both orders.
+func TestStackInnerWalk(t *testing.T) {
+	for name, be := range stacks(t) {
+		depth := 0
+		cur := be
+		for {
+			d, ok := cur.(interface{ Inner() mem.Backend })
+			if !ok {
+				break
+			}
+			cur = d.Inner()
+			depth++
+		}
+		if depth != 2 {
+			t.Errorf("%s: peeled %d decorators, want 2", name, depth)
+		}
+		if _, ok := cur.(*mem.DDR); !ok {
+			t.Errorf("%s: stack bottom is %T, want *mem.DDR", name, cur)
+		}
+	}
+}
+
+// TestStackCountersCompose: each decorator's local errors add into
+// the composed Counters regardless of order.
+func TestStackCountersCompose(t *testing.T) {
+	// Injector outside with a scripted outage: its rejections are
+	// visible at the top and the throttle below never sees them.
+	inner := buildDDR(t, 1)
+	th := mem.NewThrottle(inner, 1, nil, inner.MinLatency()/2)
+	inj := inject(t, th, fault.Config{Plan: mustParse(t, "fail=0@1ns")})
+	inj.Start(sim.Time(1) << 62)
+	eng := inj.Engine()
+	eng.RunUntil(sim.Microsecond)
+	var r mem.Result
+	inj.Port(0).Submit(mem.Request{Addr: 4096, Size: 64}, func(res mem.Result) { r = res })
+	eng.Run()
+	if !r.Err {
+		t.Fatal("outage access did not error")
+	}
+	if c := inj.Counters(); c.Errors != 1 {
+		t.Errorf("top-level Errors = %d, want 1", c.Errors)
+	}
+	if c := th.Counters(); c.Errors != 0 || c.Accesses != 0 {
+		t.Errorf("throttle below the injector saw %+v, want nothing", c)
+	}
+
+	// Throttle outside with a shutdown zone: its rejections stack on
+	// top of the injector's transparent pass-through.
+	inner2 := buildDDR(t, 1)
+	inj2 := inject(t, inner2, fault.Config{})
+	inj2.Start(sim.Time(1) << 62)
+	th2 := mem.NewThrottle(inj2, 1, nil, inner2.MinLatency()/2)
+	th2.SetShutdown(0, true)
+	var r2 mem.Result
+	th2.Port(0).Submit(mem.Request{Addr: 4096, Size: 64}, func(res mem.Result) { r2 = res })
+	th2.Engine().Run()
+	if !r2.Err {
+		t.Fatal("shutdown access did not error")
+	}
+	if c := th2.Counters(); c.Errors != 1 {
+		t.Errorf("top-level Errors = %d, want 1", c.Errors)
+	}
+	if c := inj2.Counters(); c.Errors != 0 || c.Accesses != 0 {
+		t.Errorf("injector below the throttle saw %+v, want nothing", c)
+	}
+}
+
+// TestStackZeroAlloc: 0 allocs/op holds through both stacking orders
+// on the clean/transient submit path after pool warmup.
+func TestStackZeroAlloc(t *testing.T) {
+	for name, be := range stacks(t) {
+		t.Run(name, func(t *testing.T) {
+			port := be.Port(0)
+			eng := be.Engine()
+			pending := 0
+			done := func(mem.Result) { pending-- }
+			submit := func() {
+				pending++
+				port.Submit(mem.Request{Addr: 1 << 20, Size: 64}, done)
+				eng.Run()
+			}
+			for i := 0; i < 64; i++ {
+				submit()
+			}
+			if allocs := testing.AllocsPerRun(200, submit); allocs > 0 {
+				t.Errorf("%s: submit path allocates %.1f allocs/op, want 0", name, allocs)
+			}
+			if pending != 0 {
+				t.Fatalf("%d submissions never completed", pending)
+			}
+		})
+	}
+}

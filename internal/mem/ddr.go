@@ -102,6 +102,14 @@ func (b *DDR) Engine() *sim.Engine { return b.eng }
 // Channels reports the channel count.
 func (b *DDR) Channels() int { return len(b.channels) }
 
+// ChannelOf maps a global address to the channel its interleaved
+// block lands on (the fault injector's zone map, like a chain's
+// Decode).
+func (b *DDR) ChannelOf(addr uint64) int {
+	ch, _ := b.route(addr)
+	return ch
+}
+
 // CapacityBytes is the aggregate capacity across channels.
 func (b *DDR) CapacityBytes() uint64 {
 	return uint64(len(b.channels)) * b.cfg.Channel.ChannelCapacity

@@ -3,6 +3,7 @@ package scenario
 import (
 	"math"
 
+	"hmcsim/internal/fault"
 	"hmcsim/internal/gups"
 	"hmcsim/internal/mem"
 	"hmcsim/internal/sim"
@@ -65,7 +66,53 @@ type tenantDriver struct {
 
 	onRead func(mem.Result)
 	onWr   func(mem.Result)
+
+	// resilient switches issue() onto the clientOp path: pooled
+	// per-request state carrying bounded retries with exponential
+	// backoff and an end-to-end deadline. Off, the driver issues with
+	// the bare onRead/onWr closures exactly as before.
+	resilient  bool
+	maxRetries int
+	backoff    sim.Duration // base delay, doubled per attempt
+	deadline   sim.Duration // end to end across retries; 0 = none
+	opFree     *clientOp
+
+	// Resilience accounting (measured window only): errs counts every
+	// errored completion observed, retries the resubmissions,
+	// abandoned the deadline give-ups, failed the requests whose
+	// retries were exhausted.
+	errs, retries, abandoned, failed uint64
 }
+
+// clientOp is one logical request on the resilient path. It is pooled
+// and shared by up to three pending references — the in-flight
+// completion, a scheduled deadline event and a scheduled backoff
+// event — counted in refs; the op returns to the pool at refs == 0.
+// The embedded retry/timeout structs give the two scheduled events
+// distinct sim.Handler identities without allocation.
+type clientOp struct {
+	d        *tenantDriver
+	addr     uint64
+	write    bool
+	first    sim.Time // first submission: success latency is end to end
+	attempts int
+	// finished marks the driver-visible outcome as delivered (window
+	// slot freed): late completions and stale events become no-ops.
+	finished bool
+	refs     int
+	retry    opRetry
+	timeout  opTimeout
+	fn       mem.Done // prebuilt completion closure
+	next     *clientOp
+}
+
+type opRetry struct{ op *clientOp }
+
+func (e *opRetry) Fire(*sim.Engine) { e.op.fireRetry() }
+
+type opTimeout struct{ op *clientOp }
+
+func (e *opTimeout) Fire(*sim.Engine) { e.op.fireTimeout() }
 
 // newTenantDriver lowers tenant index ti of the (defaulted) spec onto
 // a backend. The seed and linear-start derivations match the GUPS
@@ -137,6 +184,15 @@ func newTenantDriverPort(be mem.Backend, port mem.Port, t Tenant, ti int, o Opti
 	}
 	if d.rmw {
 		d.rmwPending = sim.NewQueue[uint64](0)
+	}
+	if fl := o.Faults; fl.MaxRetries > 0 || fl.Deadline > 0 {
+		d.resilient = true
+		d.maxRetries = fl.MaxRetries
+		d.backoff = fl.Backoff
+		if d.backoff == 0 {
+			d.backoff = be.MinLatency()
+		}
+		d.deadline = fl.Deadline
 	}
 	d.onRead = func(r mem.Result) { d.done(r, false) }
 	d.onWr = func(r mem.Result) { d.done(r, true) }
@@ -217,11 +273,15 @@ func (d *tenantDriver) issue() {
 		}
 		addr, write := d.nextOp()
 		d.inFlight++
-		done := d.onRead
-		if write {
-			done = d.onWr
+		if d.resilient {
+			d.submitOp(addr, write)
+		} else {
+			done := d.onRead
+			if write {
+				done = d.onWr
+			}
+			d.port.Submit(mem.Request{Addr: addr, Size: d.size, Write: write}, done)
 		}
-		d.port.Submit(mem.Request{Addr: addr, Size: d.size, Write: write}, done)
 		if d.interval > 0 {
 			d.nextIssue = d.eng.Now() + d.interval
 			d.arm(d.nextIssue)
@@ -231,12 +291,19 @@ func (d *tenantDriver) issue() {
 
 func (d *tenantDriver) done(r mem.Result, write bool) {
 	d.inFlight--
-	if d.measuring && !r.Err {
-		wire := d.wireRead
-		if write {
-			wire = d.wireWrite
+	if d.measuring {
+		if r.Err {
+			// Errored completions count — on this retry-less path the
+			// first error is also the final one the client saw.
+			d.errs++
+			d.failed++
+		} else {
+			wire := d.wireRead
+			if write {
+				wire = d.wireWrite
+			}
+			d.mon.Record(write, r, wire, uint64(d.size))
 		}
-		d.mon.Record(write, r, wire, uint64(d.size))
 	}
 	if d.rmw && !write && !r.Err {
 		d.rmwPending.Push(r.Req.Addr)
@@ -244,13 +311,154 @@ func (d *tenantDriver) done(r mem.Result, write bool) {
 	d.issue()
 }
 
+// newOp draws a pooled clientOp with its closures prebuilt.
+func (d *tenantDriver) newOp() *clientOp {
+	op := d.opFree
+	if op == nil {
+		op = &clientOp{d: d}
+		op.retry.op = op
+		op.timeout.op = op
+		op.fn = func(r mem.Result) { op.complete(r) }
+	} else {
+		d.opFree = op.next
+	}
+	return op
+}
+
+// submitOp issues one logical request on the resilient path.
+func (d *tenantDriver) submitOp(addr uint64, write bool) {
+	op := d.newOp()
+	op.addr, op.write = addr, write
+	op.first = d.eng.Now()
+	op.attempts, op.finished = 0, false
+	if d.deadline > 0 {
+		op.refs++
+		d.eng.ScheduleHandler(d.deadline, &op.timeout)
+	}
+	op.refs++
+	d.port.Submit(mem.Request{Addr: addr, Size: d.size, Write: write}, op.fn)
+}
+
+// release returns the op to the pool once nothing references it.
+func (op *clientOp) release() {
+	if op.refs != 0 {
+		return
+	}
+	op.next = op.d.opFree
+	op.d.opFree = op
+}
+
+// finishOutcome frees the window slot after a final outcome and backs
+// the driver's issue loop.
+func (op *clientOp) finishOutcome() {
+	op.finished = true
+	d := op.d
+	d.inFlight--
+	op.release()
+	d.issue()
+}
+
+// complete handles a backend completion: success records end-to-end
+// latency (from the first submission, so backoff time is visible in
+// the tail), an error retries with exponential backoff until the
+// budget runs out, then surfaces as failed.
+func (op *clientOp) complete(r mem.Result) {
+	op.refs--
+	d := op.d
+	if op.finished {
+		// Abandoned at the deadline: the late completion is dropped.
+		op.release()
+		return
+	}
+	if r.Err {
+		if d.measuring {
+			d.errs++
+		}
+		if op.attempts < d.maxRetries {
+			op.attempts++
+			if d.measuring {
+				d.retries++
+			}
+			// Exponential backoff: base, 2x base, 4x base, ...
+			op.refs++
+			d.eng.ScheduleHandler(d.backoff<<(op.attempts-1), &op.retry)
+			return
+		}
+		if d.measuring {
+			d.failed++
+		}
+		op.finishOutcome()
+		return
+	}
+	if d.measuring {
+		r.Submit = op.first
+		wire := d.wireRead
+		if op.write {
+			wire = d.wireWrite
+		}
+		d.mon.Record(op.write, r, wire, uint64(d.size))
+	}
+	if d.rmw && !op.write {
+		d.rmwPending.Push(r.Req.Addr)
+	}
+	op.finishOutcome()
+}
+
+// fireRetry resubmits after the backoff delay (unless the op was
+// abandoned while waiting).
+func (op *clientOp) fireRetry() {
+	op.refs--
+	d := op.d
+	if op.finished {
+		op.release()
+		return
+	}
+	op.refs++
+	d.port.Submit(mem.Request{Addr: op.addr, Size: d.size, Write: op.write}, op.fn)
+}
+
+// fireTimeout abandons the op at its deadline: the window slot is
+// freed so the tenant makes forward progress, and whatever completion
+// or retry is still pending dissolves on arrival.
+func (op *clientOp) fireTimeout() {
+	op.refs--
+	d := op.d
+	if op.finished {
+		op.release()
+		return
+	}
+	op.finished = true
+	if d.measuring {
+		d.abandoned++
+	}
+	d.inFlight--
+	op.release()
+	d.issue()
+}
+
 // runDrivers executes the (defaulted) spec's tenants over a built
 // backend: warmup, monitor reset, measured window, per-tenant stats.
-// With Options.Thermal the backend is wrapped in the throttle
-// decorator and the feedback runtime samples it throughout both
-// windows (the device heats during warmup, like real hardware).
+// With Options.Faults the backend is first wrapped in the fault
+// injector (innermost: the device is what fails); with
+// Options.Thermal the stack is then wrapped in the throttle decorator
+// and the feedback runtime samples it throughout both windows (the
+// device heats during warmup, like real hardware).
 func runDrivers(spec Spec, o Options, be mem.Backend) (Result, error) {
 	horizon := o.Warmup + o.Measure
+	var inj *fault.Injector
+	if o.Faults.Plan != "" {
+		plan, err := fault.ParsePlan(o.Faults.Plan)
+		if err != nil {
+			return Result{}, err
+		}
+		if !plan.Zero() {
+			inj, err = buildInjector(be, plan, o.Seed)
+			if err != nil {
+				return Result{}, err
+			}
+			be = inj
+		}
+	}
 	var loop *thermalLoop
 	if o.Thermal {
 		var err error
@@ -270,6 +478,9 @@ func runDrivers(spec Spec, o Options, be mem.Backend) (Result, error) {
 		drivers[ti] = d
 		d.start()
 	}
+	if inj != nil {
+		inj.Start(horizon)
+	}
 	eng := be.Engine()
 	eng.RunUntil(o.Warmup)
 	for _, d := range drivers {
@@ -281,13 +492,15 @@ func runDrivers(spec Spec, o Options, be mem.Backend) (Result, error) {
 	}
 	eng.RunUntil(horizon)
 
-	res := Result{Spec: spec, Elapsed: o.Measure, Tail: o.Tail}
+	res := Result{Spec: spec, Elapsed: o.Measure, Tail: o.Tail, Faults: o.Faults.Active()}
 	secs := o.Measure.Seconds()
 	var total monAccum
 	for ti, d := range drivers {
 		var a monAccum
 		a.add(d.mon)
+		a.addResilience(d.errs, d.retries, d.abandoned, d.failed)
 		total.add(d.mon)
+		total.addResilience(d.errs, d.retries, d.abandoned, d.failed)
 		res.Tenants = append(res.Tenants, a.stats(spec.Tenants[ti].Name, secs))
 	}
 	res.Total = total.stats("total", secs)

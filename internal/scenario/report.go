@@ -58,6 +58,39 @@ func (r Result) tailGrid() runner.Grid {
 	return g
 }
 
+// degraded reports whether any resilience counter is nonzero: errors
+// must never silently vanish from a report, even when fault injection
+// was off (a failed cube or shutdown zone still errors).
+func (r Result) degraded() bool {
+	c := r.Total
+	return c.Errors+c.Retries+c.Abandoned+c.Failed != 0
+}
+
+// resilienceGrid renders the degradation accounting: per tenant, the
+// errored completions, retry/abandon activity, goodput and the
+// availability line the tentpole promises.
+func (r Result) resilienceGrid() runner.Grid {
+	g := runner.Grid{
+		Title: "Resilience (measured window)",
+		Cols: []string{"Tenant", "Errors", "Retries", "Abandoned", "Failed",
+			"Goodput MRPS", "Avail %"},
+	}
+	addRow := func(name string, ts TenantStats) {
+		g.AddRow(name,
+			fmt.Sprintf("%d", ts.Errors), fmt.Sprintf("%d", ts.Retries),
+			fmt.Sprintf("%d", ts.Abandoned), fmt.Sprintf("%d", ts.Failed),
+			fmt.Sprintf("%.1f", ts.GoodputMRPS),
+			fmt.Sprintf("%.2f", ts.Availability()*100))
+	}
+	for _, ts := range r.Tenants {
+		addRow(ts.Name, ts)
+	}
+	if len(r.Tenants) > 1 {
+		addRow("total", r.Total)
+	}
+	return g
+}
+
 // thermalGrid renders the feedback-loop telemetry: one row per
 // thermal zone (per cube on chains) with its temperature envelope
 // and the controller's derate/shutdown activity.
@@ -145,6 +178,12 @@ func (r Result) Report() runner.Report {
 	if r.Tail {
 		grids = append(grids, r.tailGrid())
 		notes = append(notes, "tail percentiles from log-bucketed histograms (<=1.6% relative error above 31 ns, exact below); mean/max are exact")
+	}
+	if r.Faults || r.degraded() {
+		grids = append(grids, r.resilienceGrid())
+		notes = append(notes, fmt.Sprintf(
+			"resilience: availability = successes/(successes+failed+abandoned); total %d errors, %d retries, %d abandoned, %.2f%% available",
+			r.Total.Errors, r.Total.Retries, r.Total.Abandoned, r.Total.Availability()*100))
 	}
 	if r.Thermal != nil {
 		grids = append(grids, r.thermalGrid())

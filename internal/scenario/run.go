@@ -40,6 +40,12 @@ type Options struct {
 	// loop simulates ("Cfg1".."Cfg4", default Cfg2). Ignored unless
 	// Thermal is set.
 	Cooling string
+	// Faults overlays the spec's fault-injection and resilience
+	// configuration field-by-field (the CLI surface); see Faults.
+	// Single-engine runs only (Groups == 1), like Thermal. The report
+	// gains a resilience grid when active, so recorded formats change
+	// only when a caller opts in (or a backend actually errors).
+	Faults Faults
 	// Shards is the requested worker count for sharded specs
 	// (Spec.Groups > 1): how many goroutines execute the PDES mesh's
 	// shards concurrently, arbitrated against the process-wide
@@ -86,6 +92,34 @@ type TenantStats struct {
 	// when no request of that direction completed in the window.
 	ReadHistNs  *stats.LogHist
 	WriteHistNs *stats.LogHist
+	// Errors counts errored completions observed in the window (every
+	// attempt, including ones a later retry rescued). Zero on a
+	// healthy run, so the columns above keep their historical values.
+	Errors uint64
+	// Retries counts driver resubmissions after errored completions.
+	Retries uint64
+	// Abandoned counts requests given up at their deadline.
+	Abandoned uint64
+	// Failed counts requests whose retries were exhausted — the final
+	// errors the client actually saw.
+	Failed uint64
+	// GoodputMRPS is the successful-completion rate — the requests
+	// that actually returned data, named for its role in the
+	// resilience grid. Errored completions and abandoned requests
+	// never count toward it (or toward MRPS).
+	GoodputMRPS float64
+}
+
+// Availability is the fraction of finished requests that succeeded:
+// successes / (successes + failed + abandoned). 1 when nothing
+// finished.
+func (ts TenantStats) Availability() float64 {
+	ok := ts.Reads + ts.Writes
+	total := ok + ts.Failed + ts.Abandoned
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
 }
 
 // monAccum folds port monitors with integer arithmetic, deferring
@@ -97,6 +131,8 @@ type monAccum struct {
 	dataBytes, rawBytes uint64
 	lat, wlat           stats.Summary
 	rhist, whist        *stats.LogHist
+	errs, retries       uint64
+	abandoned, failed   uint64
 }
 
 func (a *monAccum) add(m gups.Monitor) {
@@ -110,6 +146,14 @@ func (a *monAccum) add(m gups.Monitor) {
 	stats.MergeHist(&a.whist, m.WriteHistNs)
 }
 
+// addResilience folds one driver's error/retry accounting.
+func (a *monAccum) addResilience(errs, retries, abandoned, failed uint64) {
+	a.errs += errs
+	a.retries += retries
+	a.abandoned += abandoned
+	a.failed += failed
+}
+
 func (a monAccum) stats(name string, secs float64) TenantStats {
 	return TenantStats{
 		Name:           name,
@@ -118,10 +162,15 @@ func (a monAccum) stats(name string, secs float64) TenantStats {
 		RawGBps:        float64(a.rawBytes) / secs / 1e9,
 		DataGBps:       float64(a.dataBytes) / secs / 1e9,
 		MRPS:           float64(a.reads+a.writes) / secs / 1e6,
+		GoodputMRPS:    float64(a.reads+a.writes) / secs / 1e6,
 		ReadLatencyNs:  a.lat,
 		WriteLatencyNs: a.wlat,
 		ReadHistNs:     a.rhist,
 		WriteHistNs:    a.whist,
+		Errors:         a.errs,
+		Retries:        a.retries,
+		Abandoned:      a.abandoned,
+		Failed:         a.failed,
 	}
 }
 
@@ -138,6 +187,10 @@ type Result struct {
 	// Thermal carries the feedback-loop telemetry when the run was
 	// made with Options.Thermal; nil otherwise.
 	Thermal *ThermalStats
+	// Faults records whether the run had fault injection or client
+	// resilience active: Report then always renders the resilience
+	// grid (it also appears unsolicited whenever a backend errored).
+	Faults bool
 }
 
 // Run compiles and executes a scenario on its backend.
@@ -153,9 +206,20 @@ func Run(spec Spec, o Options) (Result, error) {
 	if spec.Measure != 0 {
 		o.Measure = spec.Measure
 	}
+	// The effective fault surface: the spec's, with the CLI's set
+	// fields overlaid, carried forward in o for the run functions.
+	o.Faults = spec.Faults.merged(o.Faults)
+	if o.Faults.Active() {
+		if err := o.Faults.validate(); err != nil {
+			return Result{}, fmt.Errorf("scenario %q: %w", spec.Name, err)
+		}
+	}
 	if spec.Groups > 1 || o.forceMesh {
 		if o.Thermal {
 			return Result{}, fmt.Errorf("scenario %q: thermal feedback runs on the single-engine path (Groups == 1)", spec.Name)
+		}
+		if o.Faults.Active() {
+			return Result{}, fmt.Errorf("scenario %q: fault injection runs on the single-engine path (Groups == 1)", spec.Name)
 		}
 		return runSharded(spec, o)
 	}
@@ -166,8 +230,11 @@ func Run(spec Spec, o Options) (Result, error) {
 	}
 	switch spec.Backend {
 	case "hmc":
-		if o.Thermal {
-			return runHMCThermal(spec, o)
+		if o.Thermal || o.Faults.Active() {
+			// Thermal throttling and fault injection both interpose on
+			// mem.Port, which the cycle-accurate gups.Port loops
+			// bypass; those runs take the generic driver path.
+			return runHMCDrivers(spec, o)
 		}
 		return runSingle(spec, o)
 	case "ddr4":

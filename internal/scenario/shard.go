@@ -136,7 +136,9 @@ func runSharded(spec Spec, o Options) (Result, error) {
 	for ti, d := range drivers {
 		var a monAccum
 		a.add(d.mon)
+		a.addResilience(d.errs, d.retries, d.abandoned, d.failed)
 		total.add(d.mon)
+		total.addResilience(d.errs, d.retries, d.abandoned, d.failed)
 		res.Tenants = append(res.Tenants, a.stats(spec.Tenants[ti].Name, secs))
 	}
 	res.Total = total.stats("total", secs)

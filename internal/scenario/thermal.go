@@ -53,7 +53,18 @@ func buildThermalLoop(o Options, be mem.Backend) (*thermalLoop, error) {
 	zones := 1
 	var zoneOf func(addr uint64) int
 	var counters func(z int) mem.Counters
-	if ch, isChain := be.(*mem.Chain); isChain {
+	// Peel decorators (the fault injector sits under the throttle) so
+	// a chain's per-cube zone structure is found wherever it is in
+	// the stack; the throttle still wraps the decorated backend.
+	inner := be
+	for {
+		d, ok := inner.(interface{ Inner() mem.Backend })
+		if !ok {
+			break
+		}
+		inner = d.Inner()
+	}
+	if ch, isChain := inner.(*mem.Chain); isChain {
 		nw := ch.Network()
 		zones = nw.Cubes()
 		zoneOf = func(addr uint64) int {
@@ -125,12 +136,13 @@ func (s *ThermalStats) Throttled() bool {
 	return false
 }
 
-// runHMCThermal executes a thermal-feedback scenario on the single
-// cube: the rig's mem.Backend shim behind the throttle decorator,
-// driven by the backend-generic tenant drivers (the cycle-accurate
-// gups.Port loops bypass mem.Port, which the throttle interposes on,
-// so the classic runSingle path stays reserved for open-loop runs).
-func runHMCThermal(spec Spec, o Options) (Result, error) {
+// runHMCDrivers executes a decorated scenario on the single cube:
+// the rig's mem.Backend shim behind the throttle and/or fault
+// decorators, driven by the backend-generic tenant drivers (the
+// cycle-accurate gups.Port loops bypass mem.Port, which the
+// decorators interpose on, so the classic runSingle path stays
+// reserved for undecorated open-loop runs).
+func runHMCDrivers(spec Spec, o Options) (Result, error) {
 	eng := sim.NewEngine()
 	amap, err := hmc.NewAddressMap(hmc.Geometries(hmc.HMC11), hmc.DefaultMaxBlock)
 	if err != nil {
