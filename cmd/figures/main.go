@@ -52,6 +52,7 @@ func main() {
 	faults := flag.String("faults", "", "overlay a fault plan on scenario-backed experiments (see internal/fault; the ext-fault-* family always injects)")
 	faultRetries := flag.Int("fault-retries", 0, "retry errored scenario requests up to N times with exponential backoff")
 	faultDeadlineUs := flag.Float64("fault-deadline-us", 0, "abandon scenario requests older than this many simulated microseconds (0 = never)")
+	serveCheckURL := flag.String("serve-check", "", "replay a scn-* experiment through a running hmcsimd at this base URL and diff against the local run")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	progress := flag.Bool("progress", false, "print per-cell sweep progress")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the registry run")
@@ -103,6 +104,18 @@ func main() {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
+	}
+
+	if *serveCheckURL != "" {
+		cid := *id
+		if cid == "" {
+			cid = "scn-uniform"
+		}
+		if err := serveCheck(strings.TrimRight(*serveCheckURL, "/"), cid, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	todo := registry()

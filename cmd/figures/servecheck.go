@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"hmcsim/internal/experiments"
+	"hmcsim/internal/scenario"
+	"hmcsim/internal/sim"
+)
+
+// serveCheck replays a scenario-backed experiment through a running
+// hmcsimd instance and diffs the server's rendered report against the
+// same run computed locally — the end-to-end check that the service's
+// cache serves exactly the bytes the engine produces (the local path
+// is itself pinned by the golden-file tests). The experiment is
+// posted twice so both the fresh and the cached response are
+// compared; the second must be served from cache.
+func serveCheck(baseURL, id string, opts experiments.Options) error {
+	name := strings.TrimPrefix(id, "scn-")
+	if name == id {
+		return fmt.Errorf("serve-check wants a scenario-backed experiment id (scn-<name>), got %q", id)
+	}
+	spec, err := scenario.ByName(name)
+	if err != nil {
+		return err
+	}
+
+	// Local reference: the same options mapping the scn-* registry
+	// entries use.
+	sopts := scenario.Options{
+		Warmup: opts.Warmup, Measure: opts.Measure, Seed: opts.Seed, Shards: opts.Shards,
+		Thermal: opts.Thermal, Cooling: opts.Cooling, Faults: opts.Faults,
+	}
+	res, err := scenario.Run(spec, sopts)
+	if err != nil {
+		return err
+	}
+	local, err := res.Report().JSON()
+	if err != nil {
+		return err
+	}
+
+	us := func(d sim.Duration) float64 { return float64(d) / float64(sim.Microsecond) }
+	wire := map[string]any{
+		"name":   name,
+		"format": "json",
+		"options": map[string]any{
+			"warmup_us":  us(opts.Warmup),
+			"measure_us": us(opts.Measure),
+			"seed":       opts.Seed,
+			"thermal":    opts.Thermal,
+			"cooling":    opts.Cooling,
+		},
+	}
+	if opts.Faults.Active() {
+		wire["options"].(map[string]any)["faults"] = map[string]any{
+			"plan":        opts.Faults.Plan,
+			"max_retries": opts.Faults.MaxRetries,
+			"backoff_us":  us(opts.Faults.Backoff),
+			"deadline_us": us(opts.Faults.Deadline),
+		}
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	post := func() ([]byte, string, error) {
+		resp, err := client.Post(baseURL+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, "", fmt.Errorf("server: %s: %s", resp.Status, b)
+		}
+		return b, resp.Header.Get("X-Cache"), nil
+	}
+
+	fresh, src1, err := post()
+	if err != nil {
+		return err
+	}
+	cached, src2, err := post()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal([]byte(local), fresh) {
+		return fmt.Errorf("%s: server report differs from local run (%d vs %d bytes)", id, len(fresh), len(local))
+	}
+	if !bytes.Equal(fresh, cached) {
+		return fmt.Errorf("%s: cached response differs from fresh response", id)
+	}
+	if src2 != "hit" && src2 != "disk-hit" {
+		return fmt.Errorf("%s: second request not served from cache (X-Cache=%q)", id, src2)
+	}
+	fmt.Printf("serve-check %s: ok (first=%s second=%s, %d bytes match local run)\n", id, src1, src2, len(fresh))
+	return nil
+}

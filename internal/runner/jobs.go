@@ -1,0 +1,299 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Submit errors.
+var (
+	// ErrQueueFull rejects a Submit when the bounded queue has no
+	// room: the admission-control signal (HTTP 429 at the service).
+	ErrQueueFull = errors.New("runner: job queue full")
+	// ErrClosed rejects a Submit after Shutdown began.
+	ErrClosed = errors.New("runner: job manager closed")
+)
+
+// JobState is a job's lifecycle position.
+type JobState int32
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = iota
+	// JobRunning: a worker is executing the job's function.
+	JobRunning
+	// JobDone: finished without error.
+	JobDone
+	// JobFailed: finished with a non-cancellation error.
+	JobFailed
+	// JobCanceled: canceled before or during execution.
+	JobCanceled
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("JobState(%d)", int32(s))
+}
+
+// Finished reports whether the state is terminal.
+func (s JobState) Finished() bool { return s >= JobDone }
+
+// JobFunc is a job body. It must honor ctx (cancellation, shutdown
+// drain) and may report sweep progress through p — typically by
+// wiring p.Observe into a Map's Config.Progress.
+type JobFunc func(ctx context.Context, p *Progress) error
+
+// Job is a submitted unit of work: a handle for status polling,
+// progress snapshots and cancellation.
+type Job struct {
+	// ID is the manager-assigned identifier ("job-1", "job-2", ...).
+	ID string
+	// Name labels the job for listings (e.g. the scenario name).
+	Name string
+
+	fn     JobFunc
+	ctx    context.Context
+	cancel context.CancelFunc
+	prog   Progress
+	done   chan struct{}
+
+	mu    sync.Mutex
+	state JobState
+	err   error
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the terminal error (nil while unfinished or on success).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Progress snapshots the job's (done, total) cell counts. Safe from
+// any goroutine at any time.
+func (j *Job) Progress() (done, total int) { return j.prog.Snapshot() }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cancellation: a queued job terminates immediately,
+// a running job's context is canceled and the job terminates when its
+// function returns. Idempotent.
+func (j *Job) Cancel() {
+	j.cancel()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == JobQueued {
+		j.finishLocked(JobCanceled, context.Canceled)
+	}
+}
+
+// begin moves Queued -> Running; false if the job was already
+// canceled (the worker then skips it).
+func (j *Job) begin() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	if j.ctx.Err() != nil {
+		j.finishLocked(JobCanceled, j.ctx.Err())
+		return false
+	}
+	j.state = JobRunning
+	return true
+}
+
+// end records the function's result.
+func (j *Job) end(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		j.finishLocked(JobDone, nil)
+	case errors.Is(err, context.Canceled):
+		j.finishLocked(JobCanceled, err)
+	default:
+		j.finishLocked(JobFailed, err)
+	}
+}
+
+func (j *Job) finishLocked(s JobState, err error) {
+	if j.state.Finished() {
+		return
+	}
+	j.state = s
+	j.err = err
+	close(j.done)
+}
+
+// Jobs is the service-side job manager: a bounded submission queue in
+// front of a fixed worker pool, with per-job handles. Admission is
+// explicit — Submit never blocks; a full queue returns ErrQueueFull —
+// and shutdown drains through the same context-cancellation plumbing
+// every sweep already honors (runner.Map cancels between cells).
+type Jobs struct {
+	queue   chan *Job
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	retain  int
+
+	mu     sync.Mutex
+	closed bool
+	nextID int
+	byID   map[string]*Job
+	order  []*Job
+}
+
+// NewJobs starts a manager with the given worker count and queue
+// depth (both floored at 1). retain bounds remembered finished jobs
+// (oldest finished are forgotten first; 0 = 1024) so a long-running
+// service's history stays bounded.
+func NewJobs(workers, depth, retain int) *Jobs {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if retain <= 0 {
+		retain = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Jobs{
+		queue:   make(chan *Job, depth),
+		baseCtx: ctx,
+		cancel:  cancel,
+		retain:  retain,
+		byID:    map[string]*Job{},
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Jobs) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		if !j.begin() {
+			continue
+		}
+		j.end(j.fn(j.ctx, &j.prog))
+	}
+}
+
+// Submit enqueues a job and returns its handle, or ErrQueueFull /
+// ErrClosed without side effects. The job runs when a worker frees
+// up; its context is canceled by Job.Cancel or Shutdown.
+func (s *Jobs) Submit(name string, fn JobFunc) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.nextID++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		ID:     fmt.Sprintf("job-%d", s.nextID),
+		Name:   name,
+		fn:     fn,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		s.nextID--
+		return nil, ErrQueueFull
+	}
+	s.byID[j.ID] = j
+	s.order = append(s.order, j)
+	s.forgetLocked()
+	return j, nil
+}
+
+// forgetLocked drops the oldest finished jobs beyond the retention
+// bound. Live (queued/running) jobs are never dropped.
+func (s *Jobs) forgetLocked() {
+	excess := len(s.order) - s.retain
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if excess > 0 && j.State().Finished() {
+			delete(s.byID, j.ID)
+			excess--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.order = kept
+}
+
+// Get looks a job up by ID.
+func (s *Jobs) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	return j, ok
+}
+
+// List returns the remembered jobs in submission order.
+func (s *Jobs) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Shutdown stops intake, cancels every job's context (queued jobs
+// terminate immediately; running sweeps stop at their next cell
+// boundary) and waits for the workers to drain, up to ctx. Safe to
+// call more than once.
+func (s *Jobs) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.cancel()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,222 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func waitJob(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s stuck in %v", j.ID, j.State())
+	}
+}
+
+func TestJobsRunToCompletion(t *testing.T) {
+	s := NewJobs(2, 8, 0)
+	defer s.Shutdown(context.Background())
+
+	j, err := s.Submit("sweep", func(ctx context.Context, p *Progress) error {
+		p.SetTotal(4)
+		for i := 1; i <= 4; i++ {
+			p.Observe(i, 4)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != "job-1" || j.Name != "sweep" {
+		t.Fatalf("handle = %q/%q", j.ID, j.Name)
+	}
+	waitJob(t, j)
+	if st := j.State(); st != JobDone || !st.Finished() {
+		t.Fatalf("state = %v, want done", st)
+	}
+	if done, total := j.Progress(); done != 4 || total != 4 {
+		t.Fatalf("progress = %d/%d, want 4/4", done, total)
+	}
+	if got, ok := s.Get("job-1"); !ok || got != j {
+		t.Fatalf("Get lost the handle")
+	}
+}
+
+func TestJobsFailure(t *testing.T) {
+	s := NewJobs(1, 4, 0)
+	defer s.Shutdown(context.Background())
+	boom := errors.New("boom")
+	j, err := s.Submit("bad", func(context.Context, *Progress) error { return boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	if j.State() != JobFailed || !errors.Is(j.Err(), boom) {
+		t.Fatalf("state = %v, err = %v", j.State(), j.Err())
+	}
+}
+
+// TestJobsAdmissionControl: one worker, depth-1 queue — the third
+// concurrent submission must bounce with ErrQueueFull, the service's
+// 429 signal.
+func TestJobsAdmissionControl(t *testing.T) {
+	s := NewJobs(1, 1, 0)
+	defer s.Shutdown(context.Background())
+
+	release := make(chan struct{})
+	running := make(chan struct{})
+	blocker := func(ctx context.Context, _ *Progress) error {
+		running <- struct{}{}
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	j1, err := s.Submit("hold", blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running // worker busy
+	j2, err := s.Submit("queued", blocker)
+	if err != nil {
+		t.Fatal(err) // queue has room for exactly this one
+	}
+	if _, err := s.Submit("overflow", blocker); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow Submit err = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	<-running // j2 starts after j1 finishes
+	waitJob(t, j1)
+	waitJob(t, j2)
+	if j1.State() != JobDone || j2.State() != JobDone {
+		t.Fatalf("states = %v, %v", j1.State(), j2.State())
+	}
+}
+
+func TestJobsCancelQueued(t *testing.T) {
+	s := NewJobs(1, 2, 0)
+	defer s.Shutdown(context.Background())
+
+	release := make(chan struct{})
+	running := make(chan struct{})
+	j1, err := s.Submit("hold", func(ctx context.Context, _ *Progress) error {
+		close(running)
+		<-release
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	ran := false
+	j2, err := s.Submit("doomed", func(context.Context, *Progress) error {
+		ran = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Cancel()
+	waitJob(t, j2) // terminal immediately, while still queued
+	if j2.State() != JobCanceled {
+		t.Fatalf("state = %v, want canceled", j2.State())
+	}
+	close(release)
+	waitJob(t, j1)
+	if ran {
+		t.Fatal("canceled queued job still ran")
+	}
+}
+
+func TestJobsCancelRunning(t *testing.T) {
+	s := NewJobs(1, 2, 0)
+	defer s.Shutdown(context.Background())
+
+	running := make(chan struct{})
+	j, err := s.Submit("loop", func(ctx context.Context, _ *Progress) error {
+		close(running)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	j.Cancel()
+	waitJob(t, j)
+	if j.State() != JobCanceled || !errors.Is(j.Err(), context.Canceled) {
+		t.Fatalf("state = %v, err = %v", j.State(), j.Err())
+	}
+	j.Cancel() // idempotent
+}
+
+// TestJobsShutdownDrain: Shutdown cancels running jobs through their
+// contexts (the same plumbing runner.Map honors between cells),
+// terminates queued ones, rejects new submissions, and returns once
+// the workers drain.
+func TestJobsShutdownDrain(t *testing.T) {
+	s := NewJobs(1, 4, 0)
+	running := make(chan struct{})
+	j1, err := s.Submit("long", func(ctx context.Context, _ *Progress) error {
+		close(running)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	j2, err := s.Submit("queued", func(context.Context, *Progress) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	waitJob(t, j1)
+	waitJob(t, j2)
+	if j1.State() != JobCanceled {
+		t.Fatalf("running job state = %v, want canceled", j1.State())
+	}
+	if j2.State() != JobCanceled {
+		t.Fatalf("queued job state = %v, want canceled", j2.State())
+	}
+	if _, err := s.Submit("late", func(context.Context, *Progress) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-shutdown Submit err = %v, want ErrClosed", err)
+	}
+	// Idempotent.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestJobsRetention: finished jobs beyond the retention bound are
+// forgotten oldest-first; live jobs survive.
+func TestJobsRetention(t *testing.T) {
+	s := NewJobs(2, 8, 2)
+	defer s.Shutdown(context.Background())
+	var last *Job
+	for i := 0; i < 5; i++ {
+		j, err := s.Submit("quick", func(context.Context, *Progress) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitJob(t, j)
+		last = j
+	}
+	if _, ok := s.Get("job-1"); ok {
+		t.Fatal("oldest finished job not forgotten")
+	}
+	if _, ok := s.Get(last.ID); !ok {
+		t.Fatal("newest job forgotten")
+	}
+	if n := len(s.List()); n > 3 {
+		t.Fatalf("retained %d jobs, want <= 3", n)
+	}
+}

@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// EngineVersion stamps every simulation-result cache key (see
+// internal/simcache). It names the behavior of the whole stack a Spec
+// compiles onto — the event kernel, the backends, the drivers, the
+// statistics pipeline and the report rendering. Bump it whenever a
+// change anywhere in that stack can alter the bytes a run produces
+// (new defaults, fixed models, changed report columns, regenerated
+// goldens); cached results from older versions then miss instead of
+// serving stale numbers. Pure wall-clock work (scheduling, worker
+// counts, allocation) never requires a bump — results are
+// worker-count-independent by construction.
+const EngineVersion = "hmcsim-engine-pr9.1"
+
+// encodeFormat versions the canonical byte layout itself, so a future
+// field addition changes every key even for specs that leave the new
+// field at its zero value.
+const encodeFormat = 1
+
+// CacheBytes returns the canonical binary encoding of the effective
+// run inputs of Run(spec, o): the defaulted spec, the defaulted
+// options with the spec's Warmup/Measure overlay and Faults merge
+// applied — exactly the normalization Run itself performs — plus the
+// seed. Two (spec, options) pairs that Run would execute identically
+// encode identically (explicit defaults and omitted fields collapse),
+// and every output-affecting input is captured, so equal bytes imply
+// byte-identical results.
+//
+// Options.Shards is deliberately excluded: results are byte-identical
+// at every shard worker count (see the determinism tests), so runs
+// that differ only in execution parallelism share one cache cell.
+// EngineVersion is not folded in here — the cache layer hashes it
+// alongside these bytes, keeping the encoding reusable for other
+// fingerprinting.
+func CacheBytes(spec Spec, o Options) []byte {
+	spec = spec.withDefaults()
+	o = o.withDefaults()
+	if spec.Warmup != 0 {
+		o.Warmup = spec.Warmup
+	}
+	if spec.Measure != 0 {
+		o.Measure = spec.Measure
+	}
+	o.Faults = spec.Faults.merged(o.Faults)
+	if o.Thermal {
+		o.Cooling = coolingName(o)
+	} else {
+		o.Cooling = ""
+	}
+
+	e := encoder{buf: make([]byte, 0, 256)}
+	e.str("hmcsim-spec")
+	e.u64(encodeFormat)
+
+	e.str(spec.Name)
+	e.str(spec.Description)
+	e.str(spec.Backend)
+	e.str(spec.Topology)
+	e.i64(int64(spec.Cubes))
+	e.i64(int64(spec.Channels))
+	e.bool(spec.Refresh)
+	e.i64(int64(spec.Groups))
+	e.i64(int64(len(spec.Tenants)))
+	for _, t := range spec.Tenants {
+		e.str(t.Name)
+		e.i64(int64(t.Ports))
+		e.str(t.Mix)
+		e.f64(t.ReadFraction)
+		e.i64(int64(t.Size))
+		e.str(canonicalPattern(t.Pattern))
+		e.str(t.Access.Kind)
+		e.f64(t.Access.ZipfTheta)
+		e.f64(t.Access.HotFraction)
+		e.f64(t.Access.HotRate)
+		e.u64(t.Access.StrideBytes)
+		e.i64(int64(t.Access.JumpEvery))
+		e.u64(t.Access.OffsetBytes)
+		e.str(t.Inject.Mode)
+		e.f64(t.Inject.RateMRPS)
+		e.i64(int64(t.Inject.Outstanding))
+		e.i64(int64(t.Home))
+		e.f64(t.Remote)
+	}
+
+	e.i64(int64(o.Warmup))
+	e.i64(int64(o.Measure))
+	e.u64(o.Seed)
+	e.bool(o.Tail)
+	e.bool(o.Thermal)
+	e.str(o.Cooling)
+	e.str(o.Faults.Plan)
+	e.i64(int64(o.Faults.MaxRetries))
+	e.i64(int64(o.Faults.Backoff))
+	e.i64(int64(o.Faults.Deadline))
+	return e.buf
+}
+
+// canonicalPattern collapses the two spellings of "whole device" so
+// they share a cache cell, mirroring the equivalence the compiler
+// applies.
+func canonicalPattern(p string) string {
+	if p == "full" {
+		return ""
+	}
+	return p
+}
+
+// encoder emits a self-delimiting byte stream: every value is written
+// with a fixed width or a length prefix, so no concatenation of
+// neighboring fields is ambiguous and the encoding of a spec is a
+// pure function of its (defaulted) field values.
+type encoder struct{ buf []byte }
+
+func (e *encoder) u64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+func (e *encoder) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+func (e *encoder) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}

@@ -1,0 +1,143 @@
+package simcache
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"hmcsim/internal/scenario"
+	"hmcsim/internal/sim"
+)
+
+// sweepCell is one point of the benchmark's parameter sweep: a
+// fidelity ladder over the measurement window, so cells have unequal
+// simulation cost the way real refinement sweeps do (the expensive
+// high-fidelity rungs are exactly the ones worth keeping warm).
+type sweepCell struct {
+	spec scenario.Spec
+	opts scenario.Options
+	key  Key
+}
+
+func sweepCells(n int) []sweepCell {
+	spec := scenario.Spec{
+		Name:        "bench-sweep",
+		Description: "cache benchmark sweep point",
+		Backend:     "ddr4",
+		Tenants:     []scenario.Tenant{{Name: "load", Size: 64}},
+	}
+	cells := make([]sweepCell, n)
+	for i := range cells {
+		o := scenario.Options{
+			Warmup:  4 * sim.Microsecond,
+			Measure: sim.Duration(8*(i+1)) * sim.Microsecond,
+			Seed:    1,
+		}
+		cells[i] = sweepCell{spec: spec, opts: o, key: KeyOf(spec, o)}
+	}
+	return cells
+}
+
+func computeCell(c sweepCell) func(context.Context) ([]byte, error) {
+	return func(context.Context) ([]byte, error) {
+		res, err := scenario.Run(c.spec, c.opts)
+		if err != nil {
+			return nil, err
+		}
+		s, err := res.Report().JSON()
+		if err != nil {
+			return nil, err
+		}
+		return []byte(s), nil
+	}
+}
+
+// BenchmarkCacheWarmHit is the headline warm-path number: a lookup of
+// an already-cached result (key in hand) must cost microseconds at
+// most — it is the response time of a repeated what-if query, minus
+// HTTP. Gated via bench/BENCH_cache.json (scripts/check_bench.sh).
+func BenchmarkCacheWarmHit(b *testing.B) {
+	c, err := New(Config{Entries: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cell := sweepCells(1)[0]
+	val, _, err := c.Do(context.Background(), cell.key, computeCell(cell))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(val)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, ok := c.Get(cell.key)
+		if !ok || len(v) == 0 {
+			b.Fatal("warm lookup missed")
+		}
+	}
+}
+
+// BenchmarkCacheSweep measures a 16-cell fidelity-ladder sweep end to
+// end through the cache: cold (every cell computes) vs half-warm (the
+// expensive half of the ladder is already cached, as after a previous
+// sweep over the upper rungs). The cold/halfwarm ns ratio is the
+// sweep speedup committed to bench/BENCH_cache.json; the acceptance
+// floor is 2x.
+func BenchmarkCacheSweep(b *testing.B) {
+	cells := sweepCells(16)
+	ctx := context.Background()
+
+	runSweep := func(b *testing.B, c *Cache) {
+		for _, cell := range cells {
+			if _, _, err := c.Do(ctx, cell.key, computeCell(cell)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, err := New(Config{Entries: len(cells)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			runSweep(b, c)
+		}
+	})
+	b.Run("halfwarm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c, err := New(Config{Entries: len(cells)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, cell := range cells[len(cells)/2:] {
+				if _, _, err := c.Do(ctx, cell.key, computeCell(cell)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			runSweep(b, c)
+		}
+	})
+}
+
+// TestSweepBenchCells sanity-checks the ladder the benchmark relies
+// on: distinct keys per rung and a valid spec (so a bench failure is
+// a performance signal, not a plumbing one).
+func TestSweepBenchCells(t *testing.T) {
+	cells := sweepCells(16)
+	seen := map[Key]bool{}
+	for i, c := range cells {
+		if err := c.spec.Validate(); err != nil {
+			t.Fatalf("cell %d spec: %v", i, err)
+		}
+		if seen[c.key] {
+			t.Fatalf("cell %d key collides with an earlier rung", i)
+		}
+		seen[c.key] = true
+	}
+	if fmt.Sprint(cells[0].key) == "" {
+		t.Fatal("empty key")
+	}
+}

@@ -17,6 +17,11 @@
 #   $OUT/BENCH_pdes.json    PDES summary: the ladder, the measuring
 #                           host's CPU count, the 8-shard chain-16
 #                           speedup and the one-shard mesh overhead
+#   $OUT/cache.txt          raw output for the result-cache benchmarks
+#                           (warm-hit lookup + cold/half-warm sweep)
+#   $OUT/BENCH_cache.json   cache summary: warm-hit ns and the
+#                           half-warm sweep speedup (cold ns / halfwarm
+#                           ns over the 16-cell fidelity ladder)
 #
 # Usage: scripts/bench.sh [-quick] [-out DIR]
 #
@@ -49,11 +54,15 @@ if [ "$quick" = 1 ]; then
   kernel_count=1
   fig_bench='^(BenchmarkTableI|BenchmarkFigure7|BenchmarkFigure14)$'
   pdes_time=1x
+  cache_hit_time=50000x
+  cache_sweep_time=2x
 else
   kernel_time=1s
   kernel_count=3
   fig_bench='.'
   pdes_time=3x
+  cache_hit_time=1s
+  cache_sweep_time=5x
 fi
 
 echo "== kernel benchmarks (benchtime $kernel_time, count $kernel_count)"
@@ -75,6 +84,14 @@ go test . -run '^$' -bench '^BenchmarkShardScaling$' \
 go test ./internal/scenario -run '^$' -bench '^BenchmarkMeshParity$' \
   -benchtime 10x -count 2 -benchmem \
   | tee -a "$out/pdes.txt"
+
+echo "== result-cache benchmarks (warm hit $cache_hit_time, sweep $cache_sweep_time)"
+go test ./internal/simcache -run '^$' -bench '^BenchmarkCacheWarmHit$' \
+  -benchtime "$cache_hit_time" -benchmem \
+  | tee "$out/cache.txt"
+go test ./internal/simcache -run '^$' -bench '^BenchmarkCacheSweep$' \
+  -benchtime "$cache_sweep_time" -benchmem \
+  | tee -a "$out/cache.txt"
 
 echo "== full-registry cmd/figures -quick wall time"
 go build -o "$out/figures.bin" ./cmd/figures
@@ -169,3 +186,45 @@ awk -v quick="$quick" -v commit="$commit" -v goversion="$goversion" \
 
 echo "== wrote $out/BENCH_pdes.json"
 cat "$out/BENCH_pdes.json"
+
+# Fold the cache output into its own summary. The half-warm speedup
+# ratio is computed here so check_bench.sh can gate on it directly:
+# warming the expensive half of the fidelity ladder must make the
+# sweep at least 2x faster, and a warm hit must stay microsecond-scale.
+awk -v quick="$quick" -v commit="$commit" -v goversion="$goversion" \
+    -v stamp="$stamp" '
+  /^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    for (i = 2; i < NF; i++) {
+      if ($(i+1) == "ns/op")     { ns[name] += $i;  n[name]++ }
+      if ($(i+1) == "B/op")      { bop[name] += $i }
+      if ($(i+1) == "allocs/op") { aop[name] += $i }
+    }
+    if (!(name in seen)) { order[++cnt] = name; seen[name] = 1 }
+  }
+  END {
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", stamp
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"quick\": %s,\n", quick ? "true" : "false"
+    w = "CacheWarmHit"
+    if (n[w])
+      printf "  \"warm_hit_ns\": %.2f,\n", ns[w]/n[w]
+    c = "CacheSweep/cold"; h = "CacheSweep/halfwarm"
+    if (n[c] && n[h])
+      printf "  \"halfwarm_speedup\": %.2f,\n", (ns[c]/n[c]) / (ns[h]/n[h])
+    printf "  \"cache\": [\n"
+    for (i = 1; i <= cnt; i++) {
+      name = order[i]
+      printf "    {\"name\": \"%s\", \"ns_per_op\": %.2f, \"b_per_op\": %.1f, \"allocs_per_op\": %.2f}%s\n", \
+        name, ns[name]/n[name], bop[name]/n[name], aop[name]/n[name], i < cnt ? "," : ""
+    }
+    printf "  ]\n}\n"
+  }
+' "$out/cache.txt" > "$out/BENCH_cache.json"
+
+echo "== wrote $out/BENCH_cache.json"
+cat "$out/BENCH_cache.json"

@@ -15,10 +15,18 @@
 # hosts with >= 4 cores, where parallelism is physically possible — the
 # 8-worker chain-16 speedup must clear its floor.
 #
+# A basename containing "cache" switches to the result-cache gate: a
+# warm-hit lookup must stay under an absolute ceiling (the service's
+# "answered without re-simulating" contract, so the gate is absolute,
+# not baseline-relative — ns-scale lookups drown in cross-host noise),
+# and warming the expensive half of the benchmark's fidelity-ladder
+# sweep must make the whole sweep at least CACHE_SPEEDUP_MIN faster.
+#
 # Usage: scripts/check_bench.sh NEW.json [BASELINE.json]
 #
 #   BASELINE.json   default: bench/BENCH_kernel.json (committed), or
-#                   bench/BENCH_pdes.json in PDES mode
+#                   bench/BENCH_pdes.json in PDES mode (unused by the
+#                   cache gate, which is absolute)
 #   BENCH_TOLERANCE max allowed regression, percent (default 20 —
 #                   wide enough for shared-runner noise, narrow
 #                   enough to catch a lost fast path; PDES mode
@@ -27,6 +35,10 @@
 #   PDES_OVERHEAD_TOL  max one-shard mesh overhead, percent (default 15)
 #   PDES_SPEEDUP_MIN   min 8-worker chain-16 speedup on >=4-core hosts
 #                      (default 1.5)
+#   WARM_HIT_MAX_NS    max warm-hit lookup cost in ns (default 50000 —
+#                      50 us, "microseconds not milliseconds"; the
+#                      measured cost is tens of ns)
+#   CACHE_SPEEDUP_MIN  min half-warm sweep speedup (default 2.0)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -96,6 +108,31 @@ case "$(basename "$new")" in
     printf "check_bench: %s %.0f -> %.0f ns/op (%+.1f%%, tolerance +%s%%)\n", bench, old, new, pct, tol
     if (pct > tol) {
       printf "check_bench: one-worker shard run regressed beyond tolerance\n" > "/dev/stderr"
+      exit 1
+    }
+  }'
+  exit 0
+  ;;
+*cache*)
+  hit_max="${WARM_HIT_MAX_NS:-50000}"
+  speedup_min="${CACHE_SPEEDUP_MIN:-2.0}"
+
+  hit=$(field "$new" "warm_hit_ns")
+  [ -n "$hit" ] || { echo "check_bench: warm_hit_ns missing from $new" >&2; exit 1; }
+  awk -v h="$hit" -v max="$hit_max" 'BEGIN {
+    printf "check_bench: warm-hit lookup %.0f ns (ceiling %s ns)\n", h, max
+    if (h > max) {
+      printf "check_bench: warm cache hit is no longer microsecond-scale\n" > "/dev/stderr"
+      exit 1
+    }
+  }'
+
+  speedup=$(field "$new" "halfwarm_speedup")
+  [ -n "$speedup" ] || { echo "check_bench: halfwarm_speedup missing from $new" >&2; exit 1; }
+  awk -v s="$speedup" -v min="$speedup_min" 'BEGIN {
+    printf "check_bench: half-warm sweep speedup %.2fx (floor %sx)\n", s, min
+    if (s < min) {
+      printf "check_bench: cache no longer pays for itself on a half-warm sweep\n" > "/dev/stderr"
       exit 1
     }
   }'
