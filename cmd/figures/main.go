@@ -52,6 +52,8 @@ func main() {
 	faults := flag.String("faults", "", "overlay a fault plan on scenario-backed experiments (see internal/fault; the ext-fault-* family always injects)")
 	faultRetries := flag.Int("fault-retries", 0, "retry errored scenario requests up to N times with exponential backoff")
 	faultDeadlineUs := flag.Float64("fault-deadline-us", 0, "abandon scenario requests older than this many simulated microseconds (0 = never)")
+	traffic := flag.String("traffic", "", "overlay a traffic model on scenario-backed experiments, e.g. \"burst:8/0.5@10us/25us\" (the ext-slo-* family scripts its own ladders)")
+	sloNs := flag.Float64("slo-ns", 0, "default per-tenant latency SLO target in nanoseconds on scenario-backed experiments")
 	serveCheckURL := flag.String("serve-check", "", "replay a scn-* experiment through a running hmcsimd at this base URL and diff against the local run")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	progress := flag.Bool("progress", false, "print per-cell sweep progress")
@@ -96,6 +98,8 @@ func main() {
 		MaxRetries: *faultRetries,
 		Deadline:   sim.Duration(*faultDeadlineUs * float64(sim.Microsecond)),
 	}
+	opts.Traffic = *traffic
+	opts.SLONs = *sloNs
 	opts.Context = ctx
 	if *progress {
 		opts.Progress = func(done, total int) {

@@ -12,6 +12,9 @@
 //	hmcsim -scenario zipfian -thermal -cooling Cfg4  # ... with the feedback loop closed
 //	hmcsim -scenario chain-4 -faults "rate=0.01,fail=2@300us,repair=2@500us" \
 //	       -fault-retries 3 -fault-deadline-us 20    # ... under fault injection
+//	hmcsim -scenario uniform -traffic "burst:8/0.5@10us/25us" -slo-ns 1500
+//	                                    # ... under a bursty arrival overlay with an SLO
+//	hmcsim -scenario burst              # run a production traffic-model scenario
 //	hmcsim -scenario-list               # list the scenario library
 //
 // Pattern names follow the paper's figures: "16 vaults", "8 vaults",
@@ -118,6 +121,8 @@ func main() {
 	faultRetries := flag.Int("fault-retries", 0, "retry errored scenario requests up to N times with exponential backoff")
 	faultBackoffUs := flag.Float64("fault-backoff-us", 0, "base retry backoff in simulated microseconds (0 = the backend's latency floor)")
 	faultDeadlineUs := flag.Float64("fault-deadline-us", 0, "abandon scenario requests older than this many simulated microseconds (0 = never)")
+	traffic := flag.String("traffic", "", "overlay a traffic model on every scenario tenant: \"open:R\", \"phases:R@D,...\" (~R@D ramps), \"burst:BR/IR@BD/ID\" or \"diurnal:LO..HI@PERIOD\" (rates MRPS/port, durations like 40us)")
+	sloNs := flag.Float64("slo-ns", 0, "default per-tenant latency SLO target in nanoseconds; adds the QoS/SLO grid to scenario reports")
 	flag.Parse()
 
 	if *insights {
@@ -149,6 +154,9 @@ func main() {
 	if faultCfg.Active() && *scenarioName == "" {
 		fail(fmt.Errorf("-faults/-fault-* inject into a scenario; combine them with -scenario"))
 	}
+	if (*traffic != "" || *sloNs != 0) && *scenarioName == "" {
+		fail(fmt.Errorf("-traffic/-slo-ns overlay a scenario; combine them with -scenario"))
+	}
 
 	if *scenarioName != "" {
 		spec, err := scenario.ByName(*scenarioName)
@@ -175,6 +183,8 @@ func main() {
 			Cooling: *coolingName,
 			Shards:  *shards,
 			Faults:  faultCfg,
+			Traffic: *traffic,
+			SLONs:   *sloNs,
 		})
 		if err != nil {
 			fail(err)

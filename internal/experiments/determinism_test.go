@@ -239,6 +239,74 @@ func TestBackendMatrixWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// TestTrafficWorkerDeterminism: the traffic-model scenarios (MMPP
+// bursts, diurnal phase curves, tenant churn) derive every dwell and
+// arrival instant from (seed, tenant index); each must render
+// byte-identically between Workers=1 and Workers=8 and replay exactly
+// across runs, or the burst timelines would be racy.
+func TestTrafficWorkerDeterminism(t *testing.T) {
+	for _, e := range TrafficScenarios() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			serial, err := e.Run(fastOpts(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := e.Run(fastOpts(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Table() != parallel.Table() {
+				t.Errorf("%s text differs between Workers=1 and Workers=8", e.ID)
+			}
+			if serial.CSV() != parallel.CSV() {
+				t.Errorf("%s CSV differs between Workers=1 and Workers=8", e.ID)
+			}
+			replay, err := e.Run(fastOpts(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parallel.Table() != replay.Table() {
+				t.Errorf("%s not reproducible across runs at Workers=8", e.ID)
+			}
+		})
+	}
+}
+
+// TestSLOWorkerDeterminism: the SLO family fans its prefix-horizon
+// slices across the pool and differences cumulative counters between
+// them; the per-phase grid and class summary must render
+// byte-identically between Workers=1 and Workers=8 and across
+// repeated runs on every backend.
+func TestSLOWorkerDeterminism(t *testing.T) {
+	for _, e := range SLO() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			serial, err := e.Run(fastOpts(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := e.Run(fastOpts(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Table() != parallel.Table() {
+				t.Errorf("%s text differs between Workers=1 and Workers=8", e.ID)
+			}
+			if serial.CSV() != parallel.CSV() {
+				t.Errorf("%s CSV differs between Workers=1 and Workers=8", e.ID)
+			}
+			replay, err := e.Run(fastOpts(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parallel.Table() != replay.Table() {
+				t.Errorf("%s not reproducible across runs at Workers=8", e.ID)
+			}
+		})
+	}
+}
+
 // TestFaultWorkerDeterminism: the fault family fans its ladder rungs,
 // timeline horizons and topology pair across the pool; injector
 // randomness is keyed by (seed, zone), never scheduling order, so

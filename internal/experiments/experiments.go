@@ -51,6 +51,15 @@ type Options struct {
 	// the sharded library rejects it; the ext-fault-* family always
 	// injects regardless.
 	Faults scenario.Faults
+	// Traffic overlays a traffic model on every tenant of the
+	// scenario-backed experiments (see scenario.Options.Traffic).
+	// The ext-slo-* family scripts its own phase ladders and ignores
+	// the overlay.
+	Traffic string
+	// SLONs sets a default per-tenant latency SLO target in
+	// nanoseconds on the scenario-backed experiments (see
+	// scenario.Options.SLONs).
+	SLONs float64
 	// Context cancels in-flight sweeps when done (nil = background).
 	Context context.Context
 	// Progress, when non-nil, is called after each simulation cell of

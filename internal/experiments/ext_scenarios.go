@@ -38,6 +38,7 @@ func scenarioOptions(o Options) scenario.Options {
 	return scenario.Options{
 		Warmup: o.Warmup, Measure: o.Measure, Seed: o.Seed, Shards: o.Shards,
 		Thermal: o.Thermal, Cooling: o.Cooling, Faults: o.Faults,
+		Traffic: o.Traffic, SLONs: o.SLONs,
 	}
 }
 

@@ -28,8 +28,9 @@ func Extensions() []Experiment {
 // AllWithExtensions returns the paper registry followed by the
 // extension experiments, the scenario library, the cross-backend
 // layer, the load-latency characterization family, the sharded-system
-// library, the closed-loop thermal feedback family, and the
-// fault-injection resilience family.
+// library, the closed-loop thermal feedback family, the
+// fault-injection resilience family, the production traffic-model
+// scenarios, and the QoS/SLO characterization family.
 func AllWithExtensions() []Experiment {
 	out := append(All(), Extensions()...)
 	out = append(out, Scenarios()...)
@@ -37,7 +38,9 @@ func AllWithExtensions() []Experiment {
 	out = append(out, LoadLatency()...)
 	out = append(out, ShardedScenarios()...)
 	out = append(out, Thermal()...)
-	return append(out, Faults()...)
+	out = append(out, Faults()...)
+	out = append(out, TrafficScenarios()...)
+	return append(out, SLO()...)
 }
 
 // ExtReadRatioData holds the read-ratio sweep.

@@ -35,8 +35,16 @@ func TestExtensionsRegistry(t *testing.T) {
 	if want := 3; len(faults) != want { // one fault family per backend
 		t.Fatalf("%d fault experiments, want %d", len(faults), want)
 	}
+	traffic := TrafficScenarios()
+	if want := 3; len(traffic) != want { // one per traffic-model spec
+		t.Fatalf("%d traffic experiments, want %d", len(traffic), want)
+	}
+	slos := SLO()
+	if want := 3; len(slos) != want { // one SLO family per backend
+		t.Fatalf("%d slo experiments, want %d", len(slos), want)
+	}
 	all := AllWithExtensions()
-	if want := 17 + len(exts) + len(scns) + len(backs) + len(lls) + len(shards) + len(therms) + len(faults); len(all) != want {
+	if want := 17 + len(exts) + len(scns) + len(backs) + len(lls) + len(shards) + len(therms) + len(faults) + len(traffic) + len(slos); len(all) != want {
 		t.Fatalf("%d combined experiments, want %d", len(all), want)
 	}
 	for _, e := range exts {

@@ -118,16 +118,32 @@ type PortConfig struct {
 	StrideBytes          uint64
 	JumpEvery            int
 
-	// IssueInterval switches the port to open-loop injection: issue
-	// attempts are paced at this fixed interval (one request per
-	// interval when admitted) instead of one per backend issue cycle.
-	// Zero keeps the closed-loop hardware pacing.
+	// IssueInterval switches the port to open-loop injection: arrivals
+	// are paced at this fixed interval instead of one per backend
+	// issue cycle. Open-loop pacing keeps an absolute arrival
+	// schedule — backpressure delays requests but never depresses
+	// offered load — while zero keeps the closed-loop hardware
+	// cadence, which is a throughput bound, not an arrival clock, and
+	// re-bases off the issuing instant.
 	IssueInterval sim.Duration
+	// Schedule switches the port to phase-scripted open-loop
+	// injection: a cyclic sequence of pacing steps, anchored at run
+	// start, replayed for as long as the port issues. Takes precedence
+	// over IssueInterval.
+	Schedule []RateStep
 	// Outstanding caps the closed-loop window below the hardware
 	// depths: reads are bounded by min(read depth, Outstanding) and
 	// writes by min(write depth, Outstanding). Zero keeps the full
 	// hardware depths.
 	Outstanding int
+}
+
+// RateStep is one step of a cyclic open-loop pacing schedule.
+type RateStep struct {
+	// Interval is the arrival spacing during the step (>= 1 ps).
+	Interval sim.Duration
+	// Duration is the step length (> 0).
+	Duration sim.Duration
 }
 
 // Port is the event-driven model of one GUPS port: it issues at most
@@ -145,6 +161,13 @@ type Port struct {
 	tagDepth   int
 	wfifoDepth int
 	interval   sim.Duration
+	// openLoop marks a paced arrival stream (IssueInterval or
+	// Schedule): nextIssue then advances along an absolute schedule
+	// instead of re-basing off the issuing instant, so admission
+	// stalls delay arrivals without depressing offered load.
+	openLoop   bool
+	sched      []RateStep
+	schedCycle sim.Duration
 	// wireRead/wireWrite cache the backend's per-transaction wire
 	// cost, so the completion path makes no interface calls.
 	wireRead, wireWrite uint64
@@ -203,6 +226,14 @@ func NewPort(id int, b mem.Backend, cfg PortConfig) *Port {
 	}
 	if cfg.IssueInterval > 0 {
 		p.interval = cfg.IssueInterval
+		p.openLoop = true
+	}
+	if len(cfg.Schedule) > 0 {
+		p.sched = cfg.Schedule
+		for _, st := range cfg.Schedule {
+			p.schedCycle += st.Duration
+		}
+		p.openLoop = true
 	}
 	p.wake = p.wakeUp
 	p.readDone = p.onReadDone
@@ -328,8 +359,41 @@ func (p *Port) tryIssue() {
 		p.tagsInUse++
 		p.port.Submit(mem.Request{Addr: addr, Size: p.cfg.Size}, p.readDone)
 	}
-	p.nextIssue = now + p.interval
-	p.armRetry(p.nextIssue)
+	if p.openLoop {
+		// The absolute arrival schedule: advance from the previous
+		// arrival instant, never from now — re-basing here would let
+		// every admission stall permanently shift later arrivals,
+		// sagging offered load below the configured rate exactly in
+		// the saturated region. Arrivals the stall delayed issue
+		// back-to-back until the schedule catches up.
+		p.nextIssue += p.paceInterval(p.nextIssue)
+	} else {
+		// Closed loop: the hardware issue cadence is a minimum spacing
+		// from the actual issue, not an arrival clock.
+		p.nextIssue = now + p.interval
+	}
+	at := p.nextIssue
+	if at < now {
+		at = now
+	}
+	p.armRetry(at)
+}
+
+// paceInterval evaluates the open-loop arrival spacing at schedule
+// time t: the fixed interval, or the cyclic step schedule's interval
+// at t.
+func (p *Port) paceInterval(t sim.Time) sim.Duration {
+	if p.sched == nil {
+		return p.interval
+	}
+	off := sim.Duration(t) % p.schedCycle
+	for _, st := range p.sched {
+		if off < st.Duration {
+			return st.Interval
+		}
+		off -= st.Duration
+	}
+	return p.sched[len(p.sched)-1].Interval
 }
 
 // armRetry schedules the next issue attempt, collapsing duplicates.

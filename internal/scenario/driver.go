@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"math"
 
 	"hmcsim/internal/fault"
@@ -45,10 +46,29 @@ type tenantDriver struct {
 	offset  uint64
 	horizon sim.Time
 
-	// interval paces open-loop injection at the tenant's aggregate
-	// arrival rate (0 = closed loop); the driver is its own pacing
-	// event, so arming a wakeup never allocates.
-	interval  sim.Duration
+	// Open-loop pacing state. The driver keeps an ABSOLUTE arrival
+	// schedule: nextIssue advances along the configured rate curve
+	// (fixed interval, phase script or burst process) and is never
+	// re-based off Now(), so a window-full or admission stall delays
+	// requests but cannot depress offered load — delayed arrivals
+	// catch up back-to-back once the window frees. The driver is its
+	// own pacing event, so arming a wakeup never allocates.
+	paced    bool
+	interval sim.Duration // fixed aggregate interval (mode "open")
+	phases   []phaseSeg   // cyclic aggregate rate curve (mode "phased")
+	cycle    sim.Duration
+	// Burst (MMPP) state: per-state aggregate pacing intervals
+	// (idleIv 0 = silent idle), mean dwells in ps, and the seeded
+	// state timeline.
+	burstIv, idleIv     sim.Duration
+	burstMean, idleMean float64
+	paceRNG             *sim.RNG
+	inBurst             bool
+	stateEnd            sim.Time
+	// startAt is the tenant's lifecycle start (horizon already holds
+	// its Stop clip); arrivals and the closed-loop window both open
+	// there.
+	startAt   sim.Time
 	nextIssue sim.Time
 	armed     bool
 
@@ -139,6 +159,10 @@ func newTenantDriverPort(be mem.Backend, port mem.Port, t Tenant, ti int, o Opti
 	if err != nil {
 		return nil, err
 	}
+	startAt := sim.Time(t.Start)
+	if t.Stop > 0 && sim.Time(t.Stop) < horizon {
+		horizon = sim.Time(t.Stop)
+	}
 	window := t.Inject.Outstanding
 	if window == 0 {
 		window = be.Limits().ReadDepth
@@ -177,10 +201,31 @@ func newTenantDriverPort(be mem.Backend, port mem.Port, t Tenant, ti int, o Opti
 		offset:    t.Access.OffsetBytes,
 		reject:    mode == gups.Random || mode == gups.Zipfian || mode == gups.Hotspot,
 		horizon:   horizon,
-		interval:  iv,
+		startAt:   startAt,
+		nextIssue: startAt,
 		wireRead:  uint64(be.WireBytes(false, t.Size)),
 		wireWrite: uint64(be.WireBytes(true, t.Size)),
 		mon:       gups.NewMonitor(),
+	}
+	switch t.Inject.Mode {
+	case "open":
+		d.paced, d.interval = true, iv
+	case "phased":
+		d.paced = true
+		d.phases, d.cycle = lowerPhases(t)
+	case "burst":
+		d.paced = true
+		d.burstIv = ratePacing(t.Inject.BurstMRPS * float64(t.Ports))
+		if t.Inject.IdleMRPS > 0 {
+			d.idleIv = ratePacing(t.Inject.IdleMRPS * float64(t.Ports))
+		}
+		d.burstMean = float64(t.Inject.BurstDwell)
+		d.idleMean = float64(t.Inject.IdleDwell)
+		// Its own seed stream, so the burst timeline is independent of
+		// the mix draw sequence and fixed per (run seed, tenant).
+		d.paceRNG = sim.NewRNG(gups.PortSeed(o.Seed, ti) ^ 0x3c3c3c3c)
+		d.inBurst = true
+		d.stateEnd = d.startAt + expDwell(d.paceRNG, d.burstMean)
 	}
 	if d.rmw {
 		d.rmwPending = sim.NewQueue[uint64](0)
@@ -199,10 +244,13 @@ func newTenantDriverPort(be mem.Backend, port mem.Port, t Tenant, ti int, o Opti
 	return d, nil
 }
 
-// aggregateInterval is the tenant-level open-loop pacing interval:
-// Ports ports at RateMRPS each, realized as one paced stream (0 for
-// closed loop). Like the per-port interval, it rounds in the kernel's
-// picosecond clock so the realized rate stays within rounding error.
+// aggregateInterval is the tenant-level fixed open-loop pacing
+// interval: Ports ports at RateMRPS each, realized as one paced
+// stream (0 for closed loop and for phased/burst, which pace through
+// their own schedules). Like the per-port interval, it rounds in the
+// kernel's picosecond clock so the realized rate stays within
+// rounding error; aggregates beyond the clock are rejected (Validate
+// catches them first).
 func (t Tenant) aggregateInterval() (sim.Duration, error) {
 	iv, err := t.issueInterval()
 	if err != nil || iv == 0 {
@@ -210,13 +258,13 @@ func (t Tenant) aggregateInterval() (sim.Duration, error) {
 	}
 	iv = sim.Duration(math.Round(1000.0 / (t.Inject.RateMRPS * float64(t.Ports)) * float64(sim.Nanosecond)))
 	if iv < 1 {
-		iv = 1
+		return 0, fmt.Errorf("scenario: tenant %q aggregate rate %g MRPS x %d ports is beyond the kernel's 1 ps pacing resolution", t.Name, t.Inject.RateMRPS, t.Ports)
 	}
 	return iv, nil
 }
 
-// start arms the injector.
-func (d *tenantDriver) start() { d.eng.ScheduleHandler(0, d) }
+// start arms the injector at the tenant's lifecycle start.
+func (d *tenantDriver) start() { d.arm(d.startAt) }
 
 // Fire is the pacing/retry event entry point; only it clears the
 // armed flag (completions call issue directly and must leave an armed
@@ -261,11 +309,17 @@ func (d *tenantDriver) nextOp() (addr uint64, write bool) {
 	return addr, write
 }
 
-// issue fills the outstanding window (closed loop) or releases the
-// next paced request (open loop).
+// issue fills the outstanding window (closed loop) or releases every
+// arrival the absolute schedule owes up to now (open-loop modes).
+// Paced arrivals delayed by a full window issue back-to-back the
+// moment slots free, so offered load tracks the schedule exactly;
+// only the horizon (or a lifecycle Stop) retires unserved arrivals.
 func (d *tenantDriver) issue() {
 	for d.inFlight < d.window && d.eng.Now() < d.horizon {
-		if d.interval > 0 {
+		if d.paced {
+			if d.nextIssue >= d.horizon {
+				return
+			}
 			if now := d.eng.Now(); now < d.nextIssue {
 				d.arm(d.nextIssue)
 				return
@@ -282,11 +336,110 @@ func (d *tenantDriver) issue() {
 			}
 			d.port.Submit(mem.Request{Addr: addr, Size: d.size, Write: write}, done)
 		}
-		if d.interval > 0 {
-			d.nextIssue = d.eng.Now() + d.interval
-			d.arm(d.nextIssue)
+		if d.paced {
+			// The absolute schedule: advance from the previous arrival
+			// instant, never from Now() — re-basing here is the pacing
+			// drift this driver's stall tests pin.
+			d.advance()
 		}
 	}
+}
+
+// advance moves nextIssue one arrival along the tenant's rate curve.
+func (d *tenantDriver) advance() {
+	switch {
+	case d.phases != nil:
+		d.nextIssue += sim.Time(d.phaseInterval(d.nextIssue))
+	case d.burstMean > 0:
+		d.nextIssue = d.burstNext(d.nextIssue)
+	default:
+		d.nextIssue += sim.Time(d.interval)
+	}
+}
+
+// phaseInterval evaluates the arrival spacing of the cyclic phase
+// script at schedule time t (linear interpolation across ramps).
+func (d *tenantDriver) phaseInterval(t sim.Time) sim.Duration {
+	off := sim.Duration(t-d.startAt) % d.cycle
+	for _, s := range d.phases {
+		if off < s.start+s.dur {
+			r := s.r0
+			if s.r1 != s.r0 {
+				r += (s.r1 - s.r0) * float64(off-s.start) / float64(s.dur)
+			}
+			return ratePacing(r)
+		}
+	}
+	return ratePacing(d.phases[len(d.phases)-1].r1)
+}
+
+// burstNext advances the arrival schedule through the 2-state MMPP:
+// within a state arrivals space at the state's interval; crossing a
+// state boundary re-draws the dwell and continues in the other state
+// (a silent idle state just skips to its end). Bounded by the horizon
+// so a long silent tail cannot spin the dwell walk forever.
+func (d *tenantDriver) burstNext(t sim.Time) sim.Time {
+	for {
+		if t >= d.horizon {
+			return t
+		}
+		for t >= d.stateEnd {
+			d.inBurst = !d.inBurst
+			mean := d.idleMean
+			if d.inBurst {
+				mean = d.burstMean
+			}
+			d.stateEnd += expDwell(d.paceRNG, mean)
+		}
+		iv := d.idleIv
+		if d.inBurst {
+			iv = d.burstIv
+		}
+		if iv == 0 || t+sim.Time(iv) > d.stateEnd {
+			// No arrival fits before the state flips; resume the walk
+			// at the boundary.
+			t = d.stateEnd
+			continue
+		}
+		return t + sim.Time(iv)
+	}
+}
+
+// expDwell draws an exponential state dwell with the given mean (ps),
+// clamped to the kernel clock.
+func expDwell(rng *sim.RNG, mean float64) sim.Time {
+	dw := sim.Time(math.Round(-mean * math.Log(1-rng.Float64())))
+	if dw < 1 {
+		dw = 1
+	}
+	return dw
+}
+
+// phaseSeg is one lowered piece of a tenant's cyclic rate curve, in
+// aggregate (tenant-level) MRPS.
+type phaseSeg struct {
+	start  sim.Duration // offset of the segment within the cycle
+	dur    sim.Duration
+	r0, r1 float64
+}
+
+// lowerPhases lowers the tenant's phase script to aggregate-rate
+// segments plus the cycle length.
+func lowerPhases(t Tenant) ([]phaseSeg, sim.Duration) {
+	ports := float64(t.Ports)
+	ph := t.Inject.Phases
+	segs := make([]phaseSeg, len(ph))
+	var off sim.Duration
+	for i, p := range ph {
+		r0 := p.RateMRPS * ports
+		r1 := r0
+		if p.Ramp {
+			r1 = ph[(i+1)%len(ph)].RateMRPS * ports
+		}
+		segs[i] = phaseSeg{start: off, dur: p.Duration, r0: r0, r1: r1}
+		off += p.Duration
+	}
+	return segs, off
 }
 
 func (d *tenantDriver) done(r mem.Result, write bool) {
@@ -492,18 +645,15 @@ func runDrivers(spec Spec, o Options, be mem.Backend) (Result, error) {
 	}
 	eng.RunUntil(horizon)
 
-	res := Result{Spec: spec, Elapsed: o.Measure, Tail: o.Tail, Faults: o.Faults.Active()}
-	secs := o.Measure.Seconds()
+	accums := make([]monAccum, len(drivers))
 	var total monAccum
 	for ti, d := range drivers {
-		var a monAccum
-		a.add(d.mon)
-		a.addResilience(d.errs, d.retries, d.abandoned, d.failed)
+		accums[ti].add(d.mon)
+		accums[ti].addResilience(d.errs, d.retries, d.abandoned, d.failed)
 		total.add(d.mon)
 		total.addResilience(d.errs, d.retries, d.abandoned, d.failed)
-		res.Tenants = append(res.Tenants, a.stats(spec.Tenants[ti].Name, secs))
 	}
-	res.Total = total.stats("total", secs)
+	res := assemble(spec, o, accums, total)
 	if loop != nil {
 		res.Thermal = loop.stats()
 	}

@@ -15,12 +15,13 @@ import (
 // serving stale numbers. Pure wall-clock work (scheduling, worker
 // counts, allocation) never requires a bump — results are
 // worker-count-independent by construction.
-const EngineVersion = "hmcsim-engine-pr9.1"
+const EngineVersion = "hmcsim-engine-pr10"
 
 // encodeFormat versions the canonical byte layout itself, so a future
 // field addition changes every key even for specs that leave the new
-// field at its zero value.
-const encodeFormat = 1
+// field at its zero value. Format 2 added the traffic-model fields
+// (phases, burst, lifecycle, QoS) and the Options traffic overlay.
+const encodeFormat = 2
 
 // CacheBytes returns the canonical binary encoding of the effective
 // run inputs of Run(spec, o): the defaulted spec, the defaulted
@@ -45,6 +46,14 @@ func CacheBytes(spec Spec, o Options) []byte {
 	}
 	if spec.Measure != 0 {
 		o.Measure = spec.Measure
+	}
+	// The traffic overlay is absorbed into the tenants exactly as Run
+	// does it, so "-traffic X" on a spec and the same spec with X
+	// spelled out share one cache cell. An unparsable overlay (Run
+	// would error) is encoded raw so the key stays deterministic.
+	if overlaid, err := applyTraffic(spec, o); err == nil {
+		spec = overlaid.withDefaults()
+		o.Traffic, o.SLONs = "", 0
 	}
 	o.Faults = spec.Faults.merged(o.Faults)
 	if o.Thermal {
@@ -83,8 +92,22 @@ func CacheBytes(spec Spec, o Options) []byte {
 		e.str(t.Inject.Mode)
 		e.f64(t.Inject.RateMRPS)
 		e.i64(int64(t.Inject.Outstanding))
+		e.i64(int64(len(t.Inject.Phases)))
+		for _, p := range t.Inject.Phases {
+			e.f64(p.RateMRPS)
+			e.i64(int64(p.Duration))
+			e.bool(p.Ramp)
+		}
+		e.f64(t.Inject.BurstMRPS)
+		e.f64(t.Inject.IdleMRPS)
+		e.i64(int64(t.Inject.BurstDwell))
+		e.i64(int64(t.Inject.IdleDwell))
 		e.i64(int64(t.Home))
 		e.f64(t.Remote)
+		e.i64(int64(t.Start))
+		e.i64(int64(t.Stop))
+		e.str(t.QoS.Class)
+		e.f64(t.QoS.TargetNs)
 	}
 
 	e.i64(int64(o.Warmup))
@@ -97,6 +120,9 @@ func CacheBytes(spec Spec, o Options) []byte {
 	e.i64(int64(o.Faults.MaxRetries))
 	e.i64(int64(o.Faults.Backoff))
 	e.i64(int64(o.Faults.Deadline))
+	// Zero except when the traffic overlay failed to parse above.
+	e.str(o.Traffic)
+	e.f64(o.SLONs)
 	return e.buf
 }
 

@@ -139,6 +139,72 @@ func TestCacheBytesSensitivity(t *testing.T) {
 	mut("Tail", base, Options{Seed: 1, Tail: true})
 	mut("Options.Faults", base, Options{Seed: 1, Faults: Faults{MaxRetries: 3}})
 
+	// The traffic-model fields: every knob of the phased, burst,
+	// lifecycle and QoS surface must perturb the encoding, and within
+	// each mode every parameter must be distinguishable from a sibling
+	// value (same-mode collisions are the dangerous ones).
+	phased := func(ph []RatePhase) Spec {
+		s := base
+		s.Tenants = []Tenant{{Name: "t", Inject: Injection{Mode: "phased", Phases: ph}}}
+		return s
+	}
+	phRef := phased([]RatePhase{{RateMRPS: 2, Duration: 10 * sim.Microsecond}})
+	mut("Injection.Phases", phRef, o)
+	for name, s := range map[string]Spec{
+		"RatePhase.RateMRPS": phased([]RatePhase{{RateMRPS: 4, Duration: 10 * sim.Microsecond}}),
+		"RatePhase.Duration": phased([]RatePhase{{RateMRPS: 2, Duration: 20 * sim.Microsecond}}),
+		"RatePhase.Ramp":     phased([]RatePhase{{RateMRPS: 2, Duration: 10 * sim.Microsecond, Ramp: true}}),
+		"RatePhase count": phased([]RatePhase{
+			{RateMRPS: 2, Duration: 5 * sim.Microsecond},
+			{RateMRPS: 2, Duration: 5 * sim.Microsecond}}),
+	} {
+		if bytes.Equal(CacheBytes(s, o), CacheBytes(phRef, o)) {
+			t.Errorf("%s did not change the encoding", name)
+		}
+	}
+	burst := func(mutate func(*Injection)) Spec {
+		s := base
+		in := Injection{Mode: "burst", BurstMRPS: 8, IdleMRPS: 0.5,
+			BurstDwell: 10 * sim.Microsecond, IdleDwell: 20 * sim.Microsecond}
+		if mutate != nil {
+			mutate(&in)
+		}
+		s.Tenants = []Tenant{{Name: "t", Inject: in}}
+		return s
+	}
+	buRef := burst(nil)
+	mut("Injection burst mode", buRef, o)
+	for name, s := range map[string]Spec{
+		"Injection.BurstMRPS":  burst(func(in *Injection) { in.BurstMRPS = 12 }),
+		"Injection.IdleMRPS":   burst(func(in *Injection) { in.IdleMRPS = 1 }),
+		"Injection.BurstDwell": burst(func(in *Injection) { in.BurstDwell = 15 * sim.Microsecond }),
+		"Injection.IdleDwell":  burst(func(in *Injection) { in.IdleDwell = 30 * sim.Microsecond }),
+	} {
+		if bytes.Equal(CacheBytes(s, o), CacheBytes(buRef, o)) {
+			t.Errorf("%s did not change the encoding", name)
+		}
+	}
+	s = base
+	s.Tenants = []Tenant{{Name: "t", Start: 10 * sim.Microsecond}}
+	mut("Tenant.Start", s, o)
+	s = base
+	s.Tenants = []Tenant{{Name: "t", Stop: 40 * sim.Microsecond}}
+	mut("Tenant.Stop", s, o)
+	s = base
+	s.Tenants = []Tenant{{Name: "t", QoS: QoS{Class: "gold", TargetNs: 1500}}}
+	mut("Tenant.QoS", s, o)
+	sq := base
+	sq.Tenants = []Tenant{{Name: "t", QoS: QoS{Class: "bulk", TargetNs: 1500}}}
+	if bytes.Equal(CacheBytes(s, o), CacheBytes(sq, o)) {
+		t.Errorf("QoS.Class did not change the encoding")
+	}
+	sq.Tenants = []Tenant{{Name: "t", QoS: QoS{Class: "gold", TargetNs: 3000}}}
+	if bytes.Equal(CacheBytes(s, o), CacheBytes(sq, o)) {
+		t.Errorf("QoS.TargetNs did not change the encoding")
+	}
+	mut("Options.Traffic", base, Options{Seed: 1, Traffic: "open:4"})
+	mut("Options.SLONs", base, Options{Seed: 1, SLONs: 1500})
+
 	// Tenant order is semantic (it fixes port indices and seed
 	// derivation), so swapping tenants must change the bytes.
 	s = base
@@ -147,6 +213,32 @@ func TestCacheBytesSensitivity(t *testing.T) {
 	s2.Tenants = []Tenant{{Name: "t"}, {Name: "u"}}
 	if bytes.Equal(CacheBytes(s, o), CacheBytes(s2, o)) {
 		t.Errorf("tenant order did not change the encoding")
+	}
+}
+
+// TestCacheBytesTrafficOverlayAbsorbed pins the overlay normalization
+// CacheBytes shares with Run: "-traffic X -slo-ns N" on a spec and the
+// same spec with X and N spelled out in its tenants share one cache
+// cell, while an unparsable overlay (Run would error) still encodes
+// deterministically and distinctly.
+func TestCacheBytesTrafficOverlayAbsorbed(t *testing.T) {
+	base := Spec{Name: "ov", Tenants: []Tenant{{Name: "t"}}}
+	viaOpts := CacheBytes(base, Options{Seed: 1, Traffic: "burst:8/0.5@10us/20us", SLONs: 1500})
+	spelled := base
+	spelled.Tenants = []Tenant{{Name: "t",
+		Inject: Injection{Mode: "burst", BurstMRPS: 8, IdleMRPS: 0.5,
+			BurstDwell: 10 * sim.Microsecond, IdleDwell: 20 * sim.Microsecond},
+		QoS: QoS{TargetNs: 1500}}}
+	if !bytes.Equal(viaOpts, CacheBytes(spelled, Options{Seed: 1})) {
+		t.Errorf("option-level traffic overlay and spelled-out spec encode differently")
+	}
+	badA := CacheBytes(base, Options{Seed: 1, Traffic: "warp:1"})
+	badB := CacheBytes(base, Options{Seed: 1, Traffic: "warp:2"})
+	if bytes.Equal(badA, badB) {
+		t.Errorf("distinct unparsable overlays encode identically")
+	}
+	if !bytes.Equal(badA, CacheBytes(base, Options{Seed: 1, Traffic: "warp:1"})) {
+		t.Errorf("unparsable overlay encoding not deterministic")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hmcsim/internal/runner"
+	"hmcsim/internal/stats"
 )
 
 // describeTenant renders the tenant's traffic shape for reports.
@@ -18,10 +19,26 @@ func describeTenant(t Tenant) (mix, access, inject string) {
 		access += " @ " + t.Pattern
 	}
 	inject = "closed"
-	if t.Inject.Mode == "open" {
+	switch t.Inject.Mode {
+	case "open":
 		inject = fmt.Sprintf("open %.1fM/s", t.Inject.RateMRPS)
-	} else if t.Inject.Outstanding > 0 {
-		inject = fmt.Sprintf("closed w=%d", t.Inject.Outstanding)
+	case "phased":
+		// The per-port cycle-average rate, so the column stays
+		// comparable with the fixed open-loop rendering.
+		inject = fmt.Sprintf("phased x%d avg %.1fM/s", len(t.Inject.Phases), t.OfferedMRPS()/float64(t.Ports))
+	case "burst":
+		inject = fmt.Sprintf("burst %.1f/%.1fM/s", t.Inject.BurstMRPS, t.Inject.IdleMRPS)
+	default:
+		if t.Inject.Outstanding > 0 {
+			inject = fmt.Sprintf("closed w=%d", t.Inject.Outstanding)
+		}
+	}
+	if t.Start != 0 || t.Stop != 0 {
+		if t.Stop != 0 {
+			inject += fmt.Sprintf(" [%.0f-%.0fus]", t.Start.Microseconds(), t.Stop.Microseconds())
+		} else {
+			inject += fmt.Sprintf(" [%.0fus+]", t.Start.Microseconds())
+		}
 	}
 	return mix, access, inject
 }
@@ -87,6 +104,75 @@ func (r Result) resilienceGrid() runner.Grid {
 	}
 	if len(r.Tenants) > 1 {
 		addRow("total", r.Total)
+	}
+	return g
+}
+
+// sloGrid renders the QoS/SLO accounting: for every tenant with a
+// latency target, the share of measured successful completions at or
+// under it (from the log-bucketed histograms, so "met" resolves at
+// bucket granularity) plus goodput and p99, and one aggregate row per
+// class that spans multiple tenants.
+func (r Result) sloGrid() runner.Grid {
+	g := runner.Grid{
+		Title: "QoS / SLO (measured window)",
+		Cols:  []string{"Class", "Tenant", "Target ns", "n", "Met %", "Goodput MRPS", "p99 ns"},
+	}
+	row := func(class, tenant, target string, n, met uint64, goodput float64, h *stats.LogHist) {
+		metPct, p99 := "-", "-"
+		if n > 0 {
+			metPct = fmt.Sprintf("%.2f", float64(met)/float64(n)*100)
+		}
+		if h != nil && h.N() > 0 {
+			p99 = fmt.Sprintf("%.0f", h.Percentile(99))
+		}
+		g.AddRow(class, tenant, target, fmt.Sprintf("%d", n), metPct,
+			fmt.Sprintf("%.1f", goodput), p99)
+	}
+	type classAgg struct {
+		target  float64
+		uniform bool
+		n, met  uint64
+		goodput float64
+		hist    *stats.LogHist
+		tenants int
+	}
+	var order []string
+	classes := map[string]*classAgg{}
+	for _, ts := range r.Tenants {
+		if ts.SLOTargetNs <= 0 {
+			continue
+		}
+		var h *stats.LogHist
+		stats.MergeHist(&h, ts.ReadHistNs)
+		stats.MergeHist(&h, ts.WriteHistNs)
+		n := ts.Reads + ts.Writes
+		row(ts.Class, ts.Name, fmt.Sprintf("%.0f", ts.SLOTargetNs), n, ts.SLOMet, ts.GoodputMRPS, h)
+		a := classes[ts.Class]
+		if a == nil {
+			a = &classAgg{target: ts.SLOTargetNs, uniform: true}
+			classes[ts.Class] = a
+			order = append(order, ts.Class)
+		}
+		if a.target != ts.SLOTargetNs {
+			a.uniform = false
+		}
+		a.n += n
+		a.met += ts.SLOMet
+		a.goodput += ts.GoodputMRPS
+		stats.MergeHist(&a.hist, h)
+		a.tenants++
+	}
+	for _, c := range order {
+		a := classes[c]
+		if a.tenants < 2 {
+			continue
+		}
+		target := "-"
+		if a.uniform {
+			target = fmt.Sprintf("%.0f", a.target)
+		}
+		row(c, "(class)", target, a.n, a.met, a.goodput, a.hist)
 	}
 	return g
 }
@@ -184,6 +270,10 @@ func (r Result) Report() runner.Report {
 		notes = append(notes, fmt.Sprintf(
 			"resilience: availability = successes/(successes+failed+abandoned); total %d errors, %d retries, %d abandoned, %.2f%% available",
 			r.Total.Errors, r.Total.Retries, r.Total.Abandoned, r.Total.Availability()*100))
+	}
+	if r.SLO {
+		grids = append(grids, r.sloGrid())
+		notes = append(notes, "slo: met% counts successful completions at or under the class target (histogram-bucket granularity); abandoned and failed requests never meet an SLO")
 	}
 	if r.Thermal != nil {
 		grids = append(grids, r.thermalGrid())

@@ -46,6 +46,17 @@ type Options struct {
 	// gains a resilience grid when active, so recorded formats change
 	// only when a caller opts in (or a backend actually errors).
 	Faults Faults
+	// Traffic overlays a traffic model on every tenant of the spec
+	// (the CLI's -traffic flag): a ParseTraffic string such as
+	// "open:4", "phases:2@100us,~8@100us", "burst:8/0.5@20us/80us" or
+	// "diurnal:2..16@400us". Each tenant keeps its own Outstanding
+	// window; the overlaid spec passes through Validate as usual.
+	// Empty leaves the spec's injection untouched.
+	Traffic string
+	// SLONs sets a latency SLO target in nanoseconds on every tenant
+	// that does not declare its own QoS (the CLI's -slo-ns flag),
+	// activating the SLO report grid.
+	SLONs float64
 	// Shards is the requested worker count for sharded specs
 	// (Spec.Groups > 1): how many goroutines execute the PDES mesh's
 	// shards concurrently, arbitrated against the process-wide
@@ -108,18 +119,43 @@ type TenantStats struct {
 	// resilience grid. Errored completions and abandoned requests
 	// never count toward it (or toward MRPS).
 	GoodputMRPS float64
+	// Class and SLOTargetNs carry the tenant's QoS annotation ("" / 0
+	// without one); SLOMet counts measured successful completions at
+	// or under the target (bucket granularity of the latency
+	// histograms).
+	Class       string
+	SLOTargetNs float64
+	SLOMet      uint64
+	// OfferedMRPS is the open-loop arrival rate the rounded pacing
+	// intervals actually realize (0 for closed loop): the requested
+	// rate after kernel-resolution rounding, averaged over phase and
+	// burst schedules. Reported beside the requested rate in load
+	// sweeps so interval rounding is never silent.
+	OfferedMRPS float64
 }
 
 // Availability is the fraction of finished requests that succeeded:
-// successes / (successes + failed + abandoned). 1 when nothing
-// finished.
+// successes / (successes + failed + abandoned). 0 when nothing
+// finished in the window — a total outage renders as 0% available
+// (never NaN), not a vacuous 100%.
 func (ts TenantStats) Availability() float64 {
 	ok := ts.Reads + ts.Writes
 	total := ok + ts.Failed + ts.Abandoned
 	if total == 0 {
-		return 1
+		return 0
 	}
 	return float64(ok) / float64(total)
+}
+
+// SLOFraction is the share of measured successful completions at or
+// under the tenant's SLO target; 0 when nothing completed (a total
+// outage meets no SLO) or when the tenant has no target.
+func (ts TenantStats) SLOFraction() float64 {
+	n := ts.Reads + ts.Writes
+	if n == 0 || ts.SLOTargetNs <= 0 {
+		return 0
+	}
+	return float64(ts.SLOMet) / float64(n)
 }
 
 // monAccum folds port monitors with integer arithmetic, deferring
@@ -155,14 +191,10 @@ func (a *monAccum) addResilience(errs, retries, abandoned, failed uint64) {
 }
 
 func (a monAccum) stats(name string, secs float64) TenantStats {
-	return TenantStats{
+	ts := TenantStats{
 		Name:           name,
 		Reads:          a.reads,
 		Writes:         a.writes,
-		RawGBps:        float64(a.rawBytes) / secs / 1e9,
-		DataGBps:       float64(a.dataBytes) / secs / 1e9,
-		MRPS:           float64(a.reads+a.writes) / secs / 1e6,
-		GoodputMRPS:    float64(a.reads+a.writes) / secs / 1e6,
 		ReadLatencyNs:  a.lat,
 		WriteLatencyNs: a.wlat,
 		ReadHistNs:     a.rhist,
@@ -172,6 +204,16 @@ func (a monAccum) stats(name string, secs float64) TenantStats {
 		Abandoned:      a.abandoned,
 		Failed:         a.failed,
 	}
+	// A zero-length window (a tenant whose lifecycle never overlaps
+	// the measured window, or a degenerate slice) renders 0 rates,
+	// never Inf/NaN.
+	if secs > 0 {
+		ts.RawGBps = float64(a.rawBytes) / secs / 1e9
+		ts.DataGBps = float64(a.dataBytes) / secs / 1e9
+		ts.MRPS = float64(a.reads+a.writes) / secs / 1e6
+		ts.GoodputMRPS = ts.MRPS
+	}
+	return ts
 }
 
 // Result is a completed scenario run.
@@ -191,10 +233,17 @@ type Result struct {
 	// resilience active: Report then always renders the resilience
 	// grid (it also appears unsolicited whenever a backend errored).
 	Faults bool
+	// SLO records whether any tenant carried a QoS target: Report
+	// then renders the SLO grid.
+	SLO bool
 }
 
 // Run compiles and executes a scenario on its backend.
 func Run(spec Spec, o Options) (Result, error) {
+	spec, err := applyTraffic(spec, o)
+	if err != nil {
+		return Result{}, err
+	}
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -221,6 +270,11 @@ func Run(spec Spec, o Options) (Result, error) {
 		if o.Faults.Active() {
 			return Result{}, fmt.Errorf("scenario %q: fault injection runs on the single-engine path (Groups == 1)", spec.Name)
 		}
+		if spec.Backend == "hmc" && spec.needsGenericDrivers() {
+			// Validate rejects Groups > 1; this guards the forceMesh
+			// test hook, whose hmc arm also runs gups ports.
+			return Result{}, fmt.Errorf("scenario %q: burst arrivals, ramped phases and tenant lifecycle do not run on meshed hmc boards", spec.Name)
+		}
 		return runSharded(spec, o)
 	}
 	if o.Thermal {
@@ -230,10 +284,12 @@ func Run(spec Spec, o Options) (Result, error) {
 	}
 	switch spec.Backend {
 	case "hmc":
-		if o.Thermal || o.Faults.Active() {
-			// Thermal throttling and fault injection both interpose on
-			// mem.Port, which the cycle-accurate gups.Port loops
+		if o.Thermal || o.Faults.Active() || spec.needsGenericDrivers() {
+			// Thermal throttling, fault injection and the generic-only
+			// traffic features (burst, ramps, lifecycle) all interpose
+			// on mem.Port, which the cycle-accurate gups.Port loops
 			// bypass; those runs take the generic driver path.
+			// Fixed-rate phase schedules stay on the gups path.
 			return runHMCDrivers(spec, o)
 		}
 		return runSingle(spec, o)
@@ -274,6 +330,16 @@ func portConfigs(spec Spec, seed uint64) ([]gups.PortConfig, []int, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if t.Start != 0 || t.Stop != 0 || t.Inject.Mode == "burst" {
+			// Run routes these to the generic drivers (and Validate
+			// rejects them on sharded hmc); reaching here is a dispatch
+			// bug, not a user error.
+			return nil, nil, fmt.Errorf("scenario: tenant %q: burst arrivals and tenant lifecycle do not lower onto gups ports (internal dispatch error)", t.Name)
+		}
+		sched, err := t.portSchedule()
+		if err != nil {
+			return nil, nil, err
+		}
 		var zeroMask uint64
 		if t.Pattern != "" && t.Pattern != "full" {
 			p, err := workloads.ByName(t.Pattern)
@@ -297,6 +363,7 @@ func portConfigs(spec Spec, seed uint64) ([]gups.PortConfig, []int, error) {
 				StrideBytes:   t.Access.StrideBytes,
 				JumpEvery:     t.Access.JumpEvery,
 				IssueInterval: iv,
+				Schedule:      sched,
 				Outstanding:   t.Inject.Outstanding,
 			})
 			owner = append(owner, ti)
@@ -341,8 +408,6 @@ func runSingle(spec Spec, o Options) (Result, error) {
 	}
 	rig.Eng.RunUntil(horizon)
 
-	res := Result{Spec: spec, Elapsed: o.Measure, Tail: o.Tail}
-	secs := o.Measure.Seconds()
 	accums := make([]monAccum, len(spec.Tenants))
 	var total monAccum
 	for pi, p := range rig.Ports {
@@ -350,11 +415,68 @@ func runSingle(spec Spec, o Options) (Result, error) {
 		accums[owner[pi]].add(m)
 		total.add(m)
 	}
-	for i, a := range accums {
-		res.Tenants = append(res.Tenants, a.stats(spec.Tenants[i].Name, secs))
+	return assemble(spec, o, accums, total), nil
+}
+
+// liveSeconds is the tenant's live overlap with the measured window,
+// in seconds: reported rates are normalized to the time the tenant
+// could actually issue, so a churned tenant shows its true rate.
+func liveSeconds(t Tenant, o Options) float64 {
+	start, end := sim.Time(t.Start), o.Warmup+o.Measure
+	if t.Stop > 0 && sim.Time(t.Stop) < end {
+		end = sim.Time(t.Stop)
 	}
-	res.Total = total.stats("total", secs)
-	return res, nil
+	if start < o.Warmup {
+		start = o.Warmup
+	}
+	if end <= start {
+		return 0
+	}
+	return sim.Duration(end - start).Seconds()
+}
+
+// assemble folds per-tenant accumulators into the run result: rates
+// over each tenant's live window, QoS/SLO annotation straight from
+// the latency histograms, and the aggregate row over the full window.
+// Every compilation path (gups ports, generic drivers, sharded mesh)
+// ends here, so reports agree field-for-field across them.
+func assemble(spec Spec, o Options, accums []monAccum, total monAccum) Result {
+	res := Result{Spec: spec, Elapsed: o.Measure, Tail: o.Tail, Faults: o.Faults.Active()}
+	var offered float64
+	for i, a := range accums {
+		t := spec.Tenants[i]
+		ts := a.stats(t.Name, liveSeconds(t, o))
+		annotate(&ts, t)
+		offered += ts.OfferedMRPS
+		if ts.SLOTargetNs > 0 {
+			res.SLO = true
+		}
+		res.Tenants = append(res.Tenants, ts)
+	}
+	res.Total = total.stats("total", o.Measure.Seconds())
+	res.Total.OfferedMRPS = offered
+	return res
+}
+
+// annotate applies the tenant's QoS class, SLO accounting and
+// realized offered rate to its assembled stats.
+func annotate(ts *TenantStats, t Tenant) {
+	ts.OfferedMRPS = t.OfferedMRPS()
+	if t.QoS.TargetNs <= 0 {
+		return
+	}
+	ts.Class = t.QoS.Class
+	if ts.Class == "" {
+		ts.Class = t.Name
+	}
+	ts.SLOTargetNs = t.QoS.TargetNs
+	thr := int64(t.QoS.TargetNs)
+	if ts.ReadHistNs != nil {
+		ts.SLOMet += ts.ReadHistNs.CountAtMost(thr)
+	}
+	if ts.WriteHistNs != nil {
+		ts.SLOMet += ts.WriteHistNs.CountAtMost(thr)
+	}
 }
 
 // runChain executes a scenario over a chain or ring of cubes behind

@@ -24,16 +24,61 @@ import (
 
 // Injection selects how a tenant's ports issue requests.
 type Injection struct {
-	// Mode is "closed" (default: issue as fast as the hardware
-	// admits, bounded by tag pool / write FIFO) or "open" (fixed
-	// arrival rate per port, still subject to the tag pool).
+	// Mode is the injection discipline:
+	//   "closed"  (default) issue as fast as the hardware admits,
+	//             bounded by tag pool / write FIFO;
+	//   "open"    fixed arrival rate per port (RateMRPS), still
+	//             subject to the tag pool;
+	//   "phased"  the Phases rate script, cycled for the whole run;
+	//   "burst"   2-state Markov-modulated arrivals (MMPP): burst and
+	//             idle rates with seeded exponential dwell times.
+	// All open-loop modes keep an absolute arrival schedule:
+	// backpressure delays requests but never depresses offered load.
 	Mode string
 	// RateMRPS is the open-loop arrival rate per port in million
 	// requests per second; required when Mode is "open".
 	RateMRPS float64
-	// Outstanding caps the closed-loop window per port below the
-	// hardware depths (0 = full tag pool / write FIFO).
+	// Outstanding caps the in-flight window per port below the
+	// hardware depths (0 = full tag pool / write FIFO). Applies to
+	// every mode — open-loop arrivals beyond the window queue at the
+	// pacer.
 	Outstanding int
+	// Phases is the piecewise rate script for Mode "phased" (at least
+	// one phase). The script is cyclic: after the last phase it wraps
+	// to the first, so a diurnal curve loops for as long as the run
+	// measures. See DiurnalPhases for the compact day/night preset.
+	Phases []RatePhase
+	// BurstMRPS/IdleMRPS are the per-port rates of the two MMPP
+	// states for Mode "burst"; IdleMRPS 0 means fully silent gaps.
+	BurstMRPS, IdleMRPS float64
+	// BurstDwell/IdleDwell are the mean state dwell times; actual
+	// dwells are exponential, drawn from the run's seeded RNG, so a
+	// given seed replays the same burst timeline at any worker count.
+	BurstDwell, IdleDwell sim.Duration
+}
+
+// RatePhase is one piece of a phase-scripted rate curve.
+type RatePhase struct {
+	// RateMRPS is the per-port arrival rate during the phase.
+	RateMRPS float64
+	// Duration is the phase length (> 0).
+	Duration sim.Duration
+	// Ramp interpolates the rate linearly from this phase's RateMRPS
+	// to the next phase's over the duration (cyclically: the last
+	// phase ramps toward the first). Without it the rate holds flat.
+	Ramp bool
+}
+
+// QoS attaches a latency service-level objective to a tenant. Runs
+// with any QoS-bearing tenant grow an SLO grid in the report: the
+// fraction of measured successful completions at or under the target,
+// and goodput, per tenant and per class.
+type QoS struct {
+	// Class groups tenants into one reported service class (defaults
+	// to the tenant name).
+	Class string
+	// TargetNs is the latency target in nanoseconds (> 0 to enable).
+	TargetNs float64
 }
 
 // Access selects a tenant's address distribution.
@@ -91,6 +136,16 @@ type Tenant struct {
 	// mesh's windowed batch exchange, paying the flush-alignment cost
 	// the lookahead window models.
 	Remote float64
+	// Start/Stop bound the tenant's lifecycle (simulated time from run
+	// start, warmup included): the tenant issues nothing before Start
+	// and retires at Stop (0 = the whole run). Reported rates are
+	// normalized to the tenant's live overlap with the measured
+	// window, so a tenant live for half the window shows its true
+	// rate, not half of it. Generic-driver paths only (ddr4, chain,
+	// and single-engine hmc, which re-routes like thermal/faults do).
+	Start, Stop sim.Duration
+	// QoS attaches a latency SLO target and service class.
+	QoS QoS
 }
 
 // Spec is one declarative scenario.
@@ -206,11 +261,12 @@ func (t Tenant) reqType() (gups.ReqType, error) {
 	return 0, fmt.Errorf("scenario: unknown mix %q (want ro, wo, rw or mix)", t.Mix)
 }
 
-// issueInterval converts an open-loop rate to the port pacing
-// interval (0 for closed loop).
+// issueInterval converts a fixed open-loop rate to the port pacing
+// interval (0 for closed loop and for the phased/burst modes, which
+// pace through their own schedules).
 func (t Tenant) issueInterval() (sim.Duration, error) {
 	switch t.Inject.Mode {
-	case "closed":
+	case "closed", "phased", "burst":
 		return 0, nil
 	case "open":
 		if t.Inject.RateMRPS <= 0 {
@@ -218,14 +274,16 @@ func (t Tenant) issueInterval() (sim.Duration, error) {
 		}
 		// The kernel clock is picoseconds; rounding there keeps the
 		// realized rate within rounding error of RateMRPS instead of
-		// truncating to whole nanoseconds.
+		// truncating to whole nanoseconds. Rates whose interval would
+		// round below 1 ps are rejected (Validate catches them first)
+		// rather than silently simulating a slower stream.
 		iv := sim.Duration(math.Round(1000.0 / t.Inject.RateMRPS * float64(sim.Nanosecond)))
 		if iv < 1 {
-			iv = 1
+			return 0, fmt.Errorf("scenario: tenant %q rate %g MRPS is beyond the kernel's 1 ps pacing resolution", t.Name, t.Inject.RateMRPS)
 		}
 		return iv, nil
 	}
-	return 0, fmt.Errorf("scenario: unknown injection mode %q (want closed or open)", t.Inject.Mode)
+	return 0, fmt.Errorf("scenario: unknown injection mode %q (want closed, open, phased or burst)", t.Inject.Mode)
 }
 
 // Validate checks a spec without building anything.
@@ -299,8 +357,20 @@ func (s Spec) Validate() error {
 		if !hmc.ValidPayload(t.Size) {
 			return fmt.Errorf("scenario %q tenant %q: invalid request size %d", s.Name, t.Name, t.Size)
 		}
-		if _, err := t.issueInterval(); err != nil {
-			return err
+		if err := t.validateInject(); err != nil {
+			return fmt.Errorf("scenario %q tenant %q: %w", s.Name, t.Name, err)
+		}
+		if t.Start < 0 || t.Stop < 0 {
+			return fmt.Errorf("scenario %q tenant %q: lifecycle Start/Stop must be >= 0", s.Name, t.Name)
+		}
+		if t.Stop != 0 && t.Stop <= t.Start {
+			return fmt.Errorf("scenario %q tenant %q: lifecycle Stop %v not after Start %v", s.Name, t.Name, t.Stop, t.Start)
+		}
+		if t.QoS.TargetNs < 0 {
+			return fmt.Errorf("scenario %q tenant %q: QoS TargetNs must be >= 0", s.Name, t.Name)
+		}
+		if t.QoS.Class != "" && t.QoS.TargetNs <= 0 {
+			return fmt.Errorf("scenario %q tenant %q: QoS class %q needs TargetNs > 0", s.Name, t.Name, t.QoS.Class)
 		}
 		mode, err := gups.ModeByName(t.Access.Kind)
 		if err != nil {
@@ -347,6 +417,13 @@ func (s Spec) Validate() error {
 	}
 	if s.Backend != "hmc" && s.Refresh {
 		return fmt.Errorf("scenario %q: refresh is modeled on the hmc backend only", s.Name)
+	}
+	if s.Backend == "hmc" && s.Groups > 1 && s.needsGenericDrivers() {
+		// Sharded hmc boards keep the cycle-accurate gups.Port loops
+		// (fixed-rate phase schedules lower onto them natively); the
+		// generic-driver traffic features are rejected there, exactly
+		// as sharding rejects faults and thermal.
+		return fmt.Errorf("scenario %q: burst arrivals, ramped phases and tenant lifecycle need the generic drivers; run hmc with Groups == 1 or use the chain/ddr4 backends", s.Name)
 	}
 	return nil
 }
@@ -514,11 +591,91 @@ func Sharded() []Spec {
 	}
 }
 
+// Traffic returns the production traffic-model library: bursty
+// arrivals, diurnal phase curves and tenant churn, each with QoS
+// classes so the SLO grid renders. They live outside Builtin() so the
+// recorded overview sweep keeps its exact membership.
+func Traffic() []Spec {
+	return []Spec{
+		{
+			Name:        "burst",
+			Description: "Bursty MMPP tenant (8/0.5 MRPS, 10/25 us dwells) over a steady zipfian floor, both with latency SLOs",
+			Tenants: []Tenant{
+				{
+					// Bursts exceed the driver path's service rate (~21 MRPS
+					// aggregate) transiently but the arrears drain within a
+					// typical idle dwell, and the shallow window keeps
+					// burst-time queueing near the SLO target rather than
+					// deep in the admission queue — so met % resolves the
+					// on/off structure instead of pinning at 0 or 100.
+					Name: "bursty", Ports: 4,
+					Inject: Injection{
+						Mode:      "burst",
+						BurstMRPS: 8, IdleMRPS: 0.5,
+						BurstDwell: 10 * sim.Microsecond, IdleDwell: 25 * sim.Microsecond,
+						Outstanding: 8,
+					},
+					QoS: QoS{Class: "rt", TargetNs: 1500},
+				},
+				{
+					Name: "steady", Ports: 4,
+					Access: Access{Kind: "zipfian", ZipfTheta: 0.99},
+					Inject: Injection{Mode: "open", RateMRPS: 2},
+					QoS:    QoS{Class: "bulk", TargetNs: 4000},
+				},
+			},
+		},
+		{
+			Name:        "diurnal",
+			Description: "Day/night rate curve (4..40 MRPS aggregate over a 160 us cycle) on one DDR4 channel with a latency SLO",
+			Backend:     "ddr4",
+			Tenants: []Tenant{{
+				Name: "web", Ports: 4, Size: 64,
+				Inject: Injection{Mode: "phased", Phases: DiurnalPhases(160*sim.Microsecond, 1, 10)},
+				QoS:    QoS{Class: "web", TargetNs: 500},
+			}},
+		},
+		{
+			Name:        "churn",
+			Description: "Tenant lifecycle on a 4-cube chain: a steady base, a mid-run spike tenant, and a late joiner, each with SLOs",
+			Topology:    "chain",
+			Cubes:       4,
+			// Pinned windows: lifecycle times are absolute, so the spec
+			// carries its own warmup/measure instead of inheriting the
+			// fidelity-scaled defaults.
+			Warmup:  40 * sim.Microsecond,
+			Measure: 160 * sim.Microsecond,
+			Tenants: []Tenant{
+				{
+					Name: "base", Ports: 2,
+					Inject: Injection{Outstanding: 32},
+					QoS:    QoS{Class: "base", TargetNs: 4000},
+				},
+				{
+					Name: "spike", Ports: 2,
+					Inject: Injection{Mode: "open", RateMRPS: 8},
+					Start:  60 * sim.Microsecond, Stop: 140 * sim.Microsecond,
+					QoS: QoS{Class: "spike", TargetNs: 2500},
+				},
+				{
+					Name: "late", Ports: 2,
+					Access: Access{Kind: "hotspot", HotFraction: 0.1, HotRate: 0.9},
+					Inject: Injection{Mode: "open", RateMRPS: 4},
+					Start:  120 * sim.Microsecond,
+					QoS:    QoS{Class: "late", TargetNs: 2500},
+				},
+			},
+		},
+	}
+}
+
 // Library returns every named scenario: the builtin set, the
-// cross-backend comparison set, and the sharded-system set.
+// cross-backend comparison set, the sharded-system set, and the
+// production traffic-model set.
 func Library() []Spec {
 	out := append(Builtin(), CrossBackend()...)
-	return append(out, Sharded()...)
+	out = append(out, Sharded()...)
+	return append(out, Traffic()...)
 }
 
 // WithBackend re-targets a spec onto another backend (the CLI's

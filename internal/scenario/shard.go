@@ -130,19 +130,15 @@ func runSharded(spec Spec, o Options) (Result, error) {
 	}
 	mesh.Run(horizon, workers)
 
-	res := Result{Spec: spec, Elapsed: o.Measure, Tail: o.Tail}
-	secs := o.Measure.Seconds()
+	accums := make([]monAccum, len(drivers))
 	var total monAccum
 	for ti, d := range drivers {
-		var a monAccum
-		a.add(d.mon)
-		a.addResilience(d.errs, d.retries, d.abandoned, d.failed)
+		accums[ti].add(d.mon)
+		accums[ti].addResilience(d.errs, d.retries, d.abandoned, d.failed)
 		total.add(d.mon)
 		total.addResilience(d.errs, d.retries, d.abandoned, d.failed)
-		res.Tenants = append(res.Tenants, a.stats(spec.Tenants[ti].Name, secs))
 	}
-	res.Total = total.stats("total", secs)
-	return res, nil
+	return assemble(spec, o, accums, total), nil
 }
 
 // runShardedHMC executes an hmc spec as Groups independent AC-510
@@ -201,8 +197,6 @@ func runShardedHMC(spec Spec, o Options) (Result, error) {
 	}
 	mesh.Run(horizon, workers)
 
-	res := Result{Spec: spec, Elapsed: o.Measure, Tail: o.Tail}
-	secs := o.Measure.Seconds()
 	accums := make([]monAccum, len(spec.Tenants))
 	var total monAccum
 	for g, rig := range rigs {
@@ -212,11 +206,7 @@ func runShardedHMC(spec Spec, o Options) (Result, error) {
 			total.add(m)
 		}
 	}
-	for i, a := range accums {
-		res.Tenants = append(res.Tenants, a.stats(spec.Tenants[i].Name, secs))
-	}
-	res.Total = total.stats("total", secs)
-	return res, nil
+	return assemble(spec, o, accums, total), nil
 }
 
 // meshPort splits one tenant's traffic between its home replica and

@@ -158,6 +158,24 @@ func (h *LogHist) bucketAtRank(k uint64) int {
 	return histBuckets - 1 // unreachable for k < n
 }
 
+// CountAtMost returns how many recorded samples lie at or below v,
+// at bucket granularity: every sample sharing v's bucket counts as
+// at-or-under, so the effective threshold is the bucket's upper bound
+// (exact below 32, within the 1/64 bucket width above). It is
+// monotone in v, exact under Merge, and is the SLO "met" counter the
+// scenario QoS grid reports. Negative v counts nothing.
+func (h *LogHist) CountAtMost(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	b := histBucket(uint64(v))
+	var n uint64
+	for i := 0; i <= b; i++ {
+		n += h.counts[i]
+	}
+	return n
+}
+
 // EachBucket calls f for every nonempty bucket in ascending value
 // order with the bucket's inclusive range and count — the iteration
 // shape sinks and tests consume without exposing the storage.
